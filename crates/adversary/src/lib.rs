@@ -1,0 +1,333 @@
+//! # ft-adversary — omniscient deletion adversaries
+//!
+//! The paper's adversary "knows the network topology and our algorithms, and
+//! it has the ability to delete arbitrary nodes". [`Adversary`]
+//! implementations therefore receive an [`AdversaryView`] exposing the full
+//! current network *and*, when the victim is a Forgiving Tree, read access
+//! to its internal structure (heirs, roles, the virtual root) — strictly
+//! more information than any honest peer has.
+//!
+//! The strategies:
+//!
+//! - [`RandomAdversary`] — the unbiased reference.
+//! - [`HighestDegreeAdversary`] — classic hub attack (kills surrogate
+//!   healing: Θ(n) degree growth, E5).
+//! - [`LowestDegreeAdversary`] — leaf-first grind: maximizes LeafWill /
+//!   bypass traffic.
+//! - [`RootAdversary`] — repeatedly removes the simulator of the virtual
+//!   root (or the highest-degree node for non-FT healers).
+//! - [`HeirHunter`] — always kills a current heir, stressing heir chains.
+//! - [`HubSiphon`] — feeds the surrogate healer's lowest-ID absorber.
+//! - [`DiameterGreedy`] — one-step lookahead diameter maximizer (the
+//!   strongest but slowest; used at small n to exhibit the Θ(n) diameter
+//!   blow-ups of line/binary-tree healing).
+
+use ft_core::ForgivingTree;
+use ft_graph::bfs::diameter_double_sweep;
+use ft_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::IteratorRandom;
+use rand::SeedableRng;
+
+/// Everything the omniscient adversary may inspect before striking.
+#[derive(Clone, Copy)]
+pub struct AdversaryView<'a> {
+    /// The current healed network.
+    pub graph: &'a Graph,
+    /// The Forgiving Tree internals, when attacking one.
+    pub ft: Option<&'a ForgivingTree>,
+}
+
+/// A deletion strategy.
+pub trait Adversary {
+    /// Short name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Picks the next victim, or `None` to stop (e.g. no nodes left).
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId>;
+}
+
+/// Deletes a uniformly random live node (seeded, reproducible).
+#[derive(Debug)]
+pub struct RandomAdversary {
+    rng: StdRng,
+}
+
+impl RandomAdversary {
+    /// Creates the adversary from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        view.graph.nodes().choose(&mut self.rng)
+    }
+}
+
+/// Always deletes a node of maximum current degree (ties: lowest ID).
+#[derive(Debug, Default)]
+pub struct HighestDegreeAdversary;
+
+impl Adversary for HighestDegreeAdversary {
+    fn name(&self) -> &'static str {
+        "max-degree"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        view.graph
+            .nodes()
+            .max_by_key(|&v| (view.graph.degree(v), std::cmp::Reverse(v)))
+    }
+}
+
+/// Always deletes a node of minimum current degree (ties: lowest ID) — the
+/// leaf-first grind.
+#[derive(Debug, Default)]
+pub struct LowestDegreeAdversary;
+
+impl Adversary for LowestDegreeAdversary {
+    fn name(&self) -> &'static str {
+        "min-degree"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        view.graph.nodes().min_by_key(|&v| (view.graph.degree(v), v))
+    }
+}
+
+/// Deletes the simulator of the virtual root (FT) or the max-degree node.
+#[derive(Debug, Default)]
+pub struct RootAdversary;
+
+impl Adversary for RootAdversary {
+    fn name(&self) -> &'static str {
+        "root-attack"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        if let Some(ft) = view.ft {
+            if let Some(r) = ft.root_sim() {
+                return Some(r);
+            }
+        }
+        HighestDegreeAdversary.next_target(view)
+    }
+}
+
+/// Always kills a current heir (FT-aware); falls back to max-degree.
+#[derive(Debug, Default)]
+pub struct HeirHunter;
+
+impl Adversary for HeirHunter {
+    fn name(&self) -> &'static str {
+        "heir-hunter"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        if let Some(ft) = view.ft {
+            // heir of the node with the most slots (deepest wills first)
+            let target = ft
+                .nodes()
+                .filter(|&v| !ft.slot_reps(v).is_empty())
+                .max_by_key(|&v| ft.slot_reps(v).len())
+                .and_then(|v| ft.heir_of(v));
+            if let Some(t) = target {
+                return Some(t);
+            }
+        }
+        HighestDegreeAdversary.next_target(view)
+    }
+}
+
+/// Deletes the highest-degree *neighbor* of the lowest-ID node: under
+/// surrogate healing the lowest-ID node keeps absorbing the victims'
+/// neighbor sets, driving its degree to Θ(n) (E5).
+#[derive(Debug, Default)]
+pub struct HubSiphon;
+
+impl Adversary for HubSiphon {
+    fn name(&self) -> &'static str {
+        "hub-siphon"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        let hub = view.graph.nodes().next()?;
+        view.graph
+            .neighbors(hub)
+            .max_by_key(|&u| (view.graph.degree(u), std::cmp::Reverse(u)))
+            .or_else(|| view.graph.nodes().find(|&v| v != hub))
+            .or(Some(hub))
+    }
+}
+
+/// One-step lookahead: deletes the node whose removal (before healing)
+/// maximizes the healed... approximated by the double-sweep diameter of the
+/// remaining graph with the victim's neighbors clique-connected pessimally.
+///
+/// Exact lookahead would require simulating each healer; this adversary
+/// instead scores a victim by the double-sweep diameter of `G - v` with
+/// `v`'s neighbors joined in a line (a worst-case-ish reconnection), which
+/// empirically drives both line and binary-tree healing to Θ(n) diameters
+/// while staying polynomial. Candidates can be capped for large graphs.
+#[derive(Debug)]
+pub struct DiameterGreedy {
+    /// Evaluate at most this many candidates per round (highest degree
+    /// first); `usize::MAX` for exhaustive search.
+    pub max_candidates: usize,
+}
+
+impl Default for DiameterGreedy {
+    fn default() -> Self {
+        DiameterGreedy { max_candidates: 32 }
+    }
+}
+
+impl Adversary for DiameterGreedy {
+    fn name(&self) -> &'static str {
+        "diameter-greedy"
+    }
+
+    fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
+        let g = view.graph;
+        if g.len() <= 2 {
+            return g.nodes().next();
+        }
+        let mut candidates: Vec<NodeId> = g.nodes().collect();
+        candidates.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        candidates.truncate(self.max_candidates);
+        let mut best: Option<(u32, NodeId)> = None;
+        for v in candidates {
+            let mut trial = g.clone();
+            let nbrs = trial.delete_node(v);
+            for w in nbrs.windows(2) {
+                trial.add_edge(w[0], w[1]);
+            }
+            if let Some(d) = diameter_double_sweep(&trial) {
+                if best.is_none_or(|(bd, _)| d > bd) {
+                    best = Some((d, v));
+                }
+            }
+        }
+        best.map(|(_, v)| v).or_else(|| g.nodes().next())
+    }
+}
+
+/// Convenience: every strategy boxed, for sweeps.
+pub fn standard_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(RandomAdversary::new(seed)),
+        Box::new(HighestDegreeAdversary),
+        Box::new(LowestDegreeAdversary),
+        Box::new(RootAdversary),
+        Box::new(HeirHunter),
+        Box::new(DiameterGreedy::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen;
+    use ft_graph::tree::RootedTree;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn view(g: &Graph) -> AdversaryView<'_> {
+        AdversaryView { graph: g, ft: None }
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let g = gen::path(20);
+        let mut a = RandomAdversary::new(7);
+        let mut b = RandomAdversary::new(7);
+        for _ in 0..5 {
+            assert_eq!(a.next_target(view(&g)), b.next_target(view(&g)));
+        }
+    }
+
+    #[test]
+    fn max_degree_picks_the_hub() {
+        let g = gen::star(6);
+        assert_eq!(HighestDegreeAdversary.next_target(view(&g)), Some(n(0)));
+    }
+
+    #[test]
+    fn min_degree_picks_a_leaf() {
+        let g = gen::star(6);
+        assert_eq!(LowestDegreeAdversary.next_target(view(&g)), Some(n(1)));
+    }
+
+    #[test]
+    fn root_adversary_tracks_virtual_root() {
+        let g = gen::kary_tree(7, 2);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let mut ft = ForgivingTree::new(&t);
+        let mut adv = RootAdversary;
+        let v = AdversaryView {
+            graph: ft.graph(),
+            ft: Some(&ft),
+        };
+        assert_eq!(adv.next_target(v), Some(n(0)));
+        ft.delete(n(0));
+        let v = AdversaryView {
+            graph: ft.graph(),
+            ft: Some(&ft),
+        };
+        // heir of the root (child 2) now simulates the virtual root
+        assert_eq!(adv.next_target(v), Some(n(2)));
+    }
+
+    #[test]
+    fn heir_hunter_kills_heirs() {
+        let g = gen::star(8);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let ft = ForgivingTree::new(&t);
+        let mut adv = HeirHunter;
+        let v = AdversaryView {
+            graph: ft.graph(),
+            ft: Some(&ft),
+        };
+        assert_eq!(adv.next_target(v), Some(n(7)), "highest-ID child is heir");
+    }
+
+    #[test]
+    fn hub_siphon_feeds_node_zero() {
+        let g = gen::path(6);
+        let mut adv = HubSiphon;
+        // node 0's only neighbor is 1
+        assert_eq!(adv.next_target(view(&g)), Some(n(1)));
+    }
+
+    #[test]
+    fn diameter_greedy_runs_to_completion() {
+        let mut g = gen::kary_tree(15, 2);
+        let mut adv = DiameterGreedy::default();
+        while !g.is_empty() {
+            let t = adv.next_target(view(&g)).expect("nonempty");
+            g.delete_node(t);
+            // crude line-heal so the graph stays connected for the search
+            let alive: Vec<NodeId> = g.nodes().collect();
+            for w in alive.windows(2) {
+                if !g.has_edge(w[0], w[1]) && g.degree(w[0]) == 0 {
+                    g.add_edge(w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standard_suite_has_six_strategies() {
+        assert_eq!(standard_suite(1).len(), 6);
+    }
+}

@@ -1,0 +1,60 @@
+//! Heal cost comparison across strategies: the Forgiving Tree's richer
+//! bookkeeping vs the naive reconnections, full random deletion sequences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_baselines::{BinaryTreeHealer, ForgivingHealer, LineHealer, SelfHealer, SurrogateHealer};
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_full_sequence");
+    group.sample_size(10);
+    let n = 1024usize;
+    let g = gen::kary_tree(n, 4);
+    let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+    let mut order: Vec<NodeId> = tree.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(8);
+    order.shuffle(&mut rng);
+    group.throughput(criterion::Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("forgiving-tree", n), |b| {
+        b.iter(|| {
+            let mut h = ForgivingHealer::new(&tree);
+            for &v in &order {
+                black_box(h.delete(v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("surrogate", n), |b| {
+        b.iter(|| {
+            let mut h = SurrogateHealer::new(g.clone());
+            for &v in &order {
+                black_box(h.delete(v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("line", n), |b| {
+        b.iter(|| {
+            let mut h = LineHealer::new(g.clone());
+            for &v in &order {
+                black_box(h.delete(v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("binary-tree", n), |b| {
+        b.iter(|| {
+            let mut h = BinaryTreeHealer::new(g.clone());
+            for &v in &order {
+                black_box(h.delete(v));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Diameter computation strategies (the evaluation bottleneck): exact
+//! all-BFS vs the double-sweep bound used at large n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_graph::bfs::{diameter_double_sweep, diameter_exact};
+use ft_graph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diameter");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = gen::random_tree(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| black_box(diameter_exact(&g)))
+        });
+        group.bench_with_input(BenchmarkId::new("double_sweep", n), &n, |b, _| {
+            b.iter(|| black_box(diameter_double_sweep(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Distributed-engine heal cost: full message-level recovery (notice +
+//! rounds to quiescence) per deletion, vs the analytic spec engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::distributed::DistributedForgivingTree;
+use ft_core::ForgivingTree;
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_full_sequence");
+    group.sample_size(10);
+    let n = 512usize;
+    let g = gen::kary_tree(n, 4);
+    let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+    let mut order: Vec<NodeId> = tree.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    order.shuffle(&mut rng);
+    group.throughput(criterion::Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("spec", n), |b| {
+        b.iter(|| {
+            let mut ft = ForgivingTree::new(&tree);
+            for &v in &order {
+                black_box(ft.delete(v));
+            }
+            ft
+        })
+    });
+    group.bench_function(BenchmarkId::new("distributed", n), |b| {
+        b.iter(|| {
+            let mut ft = DistributedForgivingTree::new(&tree);
+            for &v in &order {
+                black_box(ft.delete(v));
+            }
+            ft
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

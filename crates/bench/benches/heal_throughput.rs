@@ -1,0 +1,55 @@
+//! Per-deletion heal cost of the spec engine as n grows — the practical
+//! face of Theorem 1.3's O(1) claim (state touched per heal is O(degree)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::ForgivingTree;
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_heal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heal_full_sequence");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096, 16384] {
+        let g = gen::kary_tree(n, 4);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        let mut order: Vec<NodeId> = tree.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        order.shuffle(&mut rng);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("kary4_random_order", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ft = ForgivingTree::new(&tree);
+                for &v in &order {
+                    black_box(ft.delete(v));
+                }
+                ft
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_heal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_heal");
+    group.sample_size(20);
+    for delta in [16usize, 256, 4096] {
+        // deleting a degree-Δ hub is the worst single heal: O(Δ) work
+        let g = gen::star(delta + 1);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        group.bench_with_input(BenchmarkId::new("star_center", delta), &delta, |b, _| {
+            b.iter_batched(
+                || ForgivingTree::new(&tree),
+                |mut ft| black_box(ft.delete(NodeId(0))),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heal, bench_single_heal);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Setup-phase cost: initializing wills over the spanning tree (the O(1)
+//! messages/edge part of the paper's setup) as n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::ForgivingTree;
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use std::hint::black_box;
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_wills");
+    group.sample_size(10);
+    for n in [1024usize, 8192, 65536] {
+        let g = gen::kary_tree(n, 8);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("kary8", n), &n, |b, _| {
+            b.iter(|| black_box(ForgivingTree::new(&tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_bfs_tree");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::gnp_connected(n, 6.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("centralized", n), &n, |b, _| {
+            b.iter(|| black_box(RootedTree::bfs_spanning_tree(&g, NodeId(0))))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", n), &n, |b, _| {
+            b.iter(|| black_box(ft_sim::bfs::distributed_bfs_tree(&g, NodeId(0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_bfs_tree);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! SubRT shape operations: balanced construction (GenerateSubRT) and the
+//! incremental O(1) will updates that the paper defers to its full version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::shape::{ShapeConfig, SubRtShape};
+use ft_graph::NodeId;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subrt_build");
+    for d in [8usize, 128, 4096] {
+        let children: Vec<NodeId> = (0..d as u32).map(NodeId).collect();
+        group.throughput(criterion::Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("balanced", d), &d, |b, _| {
+            b.iter(|| black_box(SubRtShape::build(&children)))
+        });
+        group.bench_with_input(BenchmarkId::new("path", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(SubRtShape::build_with(
+                    &children,
+                    ShapeConfig {
+                        balanced: false,
+                        heir_min: false,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subrt_incremental");
+    for d in [64usize, 1024] {
+        let children: Vec<NodeId> = (0..d as u32).map(NodeId).collect();
+        group.bench_with_input(BenchmarkId::new("remove_slot", d), &d, |b, _| {
+            b.iter_batched(
+                || SubRtShape::build(&children),
+                |mut s| {
+                    black_box(s.remove_slot(NodeId(d as u32 / 2)));
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("replace_rep", d), &d, |b, _| {
+            b.iter_batched(
+                || SubRtShape::build(&children),
+                |mut s| {
+                    black_box(s.replace_rep(NodeId(d as u32 / 2), NodeId(d as u32 + 7)));
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Differential tests: the distributed protocol against the spec engine.
+//!
+//! Both engines are driven with identical deletion sequences; after *every*
+//! deletion the healed graphs must be identical (same live nodes, same edge
+//! sets). This is the strongest evidence the message-level protocol realizes
+//! the paper's data structure.
+
+use crate::distributed::DistributedForgivingTree;
+use crate::spec::ForgivingTree;
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Runs both engines in lock-step, asserting graph equality and the O(1)
+/// round/message bounds after every deletion.
+fn differential_run(tree: &RootedTree, order: &[NodeId]) {
+    let mut spec = ForgivingTree::new(tree);
+    let mut dist = DistributedForgivingTree::new(tree);
+    assert_eq!(
+        spec.graph(),
+        dist.graph(),
+        "initial graphs differ"
+    );
+    for (step, &v) in order.iter().enumerate() {
+        let sr = spec.delete(v);
+        let dr = dist.delete(v);
+        spec.validate();
+        assert_eq!(
+            spec.graph(),
+            dist.graph(),
+            "graphs diverged after step {step} (deleting {v:?}; order {order:?})\nspec: {:?}\ndist: {:?}",
+            spec.graph().edges(),
+            dist.graph().edges()
+        );
+        assert!(
+            dr.rounds <= 8,
+            "recovery took {} rounds (not O(1))",
+            dr.rounds
+        );
+        assert!(
+            dr.max_messages_per_node <= 40,
+            "a node handled {} messages in one heal",
+            dr.max_messages_per_node
+        );
+        let _ = sr;
+    }
+    assert!(dist.is_empty());
+}
+
+#[test]
+fn two_node_tree() {
+    for order in [[0u32, 1], [1, 0]] {
+        let t = RootedTree::from_parent_pairs(n(0), &[(n(1), n(0))]);
+        let order: Vec<NodeId> = order.iter().map(|&i| n(i)).collect();
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn star_all_orders() {
+    let perms = permutations(&[0, 1, 2, 3, 4]);
+    for perm in perms {
+        let g = gen::star(5);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let order: Vec<NodeId> = perm.iter().map(|&i| n(i)).collect();
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn path_all_orders() {
+    let perms = permutations(&[0, 1, 2, 3, 4]);
+    for perm in perms {
+        let g = gen::path(5);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let order: Vec<NodeId> = perm.iter().map(|&i| n(i)).collect();
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn binary_tree_all_orders() {
+    // 7! = 5040 full differential runs
+    let perms = permutations(&[0, 1, 2, 3, 4, 5, 6]);
+    for perm in perms {
+        let g = gen::kary_tree(7, 2);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let order: Vec<NodeId> = perm.iter().map(|&i| n(i)).collect();
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn wide_star_with_root_first() {
+    let g = gen::star(20);
+    let t = RootedTree::from_tree_graph(&g, n(0));
+    let mut order: Vec<NodeId> = t.nodes().collect();
+    // root first, then leaves in an interleaved order
+    order.sort_by_key(|v| (v.0 != 0, v.0 % 3, v.0));
+    differential_run(&t, &order);
+}
+
+#[test]
+fn caterpillar_random_orders() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..15 {
+        let g = gen::caterpillar(4, 3);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let mut order: Vec<NodeId> = t.nodes().collect();
+        order.shuffle(&mut rng);
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn kary_trees_random_orders() {
+    let mut rng = StdRng::seed_from_u64(23);
+    for k in [2usize, 3, 5] {
+        for _ in 0..8 {
+            let g = gen::kary_tree(31, k);
+            let t = RootedTree::from_tree_graph(&g, n(0));
+            let mut order: Vec<NodeId> = t.nodes().collect();
+            order.shuffle(&mut rng);
+            differential_run(&t, &order);
+        }
+    }
+}
+
+#[test]
+fn broom_random_orders() {
+    let mut rng = StdRng::seed_from_u64(29);
+    for _ in 0..15 {
+        let g = gen::broom(4, 8);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let mut order: Vec<NodeId> = t.nodes().collect();
+        order.shuffle(&mut rng);
+        differential_run(&t, &order);
+    }
+}
+
+#[test]
+fn heir_chain_stress() {
+    // repeatedly delete the current heir of the root's will: exercises
+    // ready-heir takeover chains
+    let g = gen::kary_tree(31, 2);
+    let t = RootedTree::from_tree_graph(&g, n(0));
+    let mut spec = ForgivingTree::new(&t);
+    let mut dist = DistributedForgivingTree::new(&t);
+    while !spec.is_empty() {
+        let target = spec
+            .nodes()
+            .filter_map(|v| spec.heir_of(v))
+            .next()
+            .or_else(|| spec.nodes().next())
+            .expect("nonempty");
+        spec.delete(target);
+        dist.delete(target);
+        spec.validate();
+        assert_eq!(spec.graph(), dist.graph(), "diverged at {target:?}");
+    }
+}
+
+#[test]
+fn distributed_node_introspection() {
+    let g = gen::star(6);
+    let t = RootedTree::from_tree_graph(&g, n(0));
+    let mut dist = DistributedForgivingTree::new(&t);
+    dist.delete(n(0));
+    // heir (highest-ID child) ends in ready state
+    assert!(dist.node(n(5)).is_ready_heir());
+    // the other children are deployed helpers
+    for c in [1u32, 2, 3, 4] {
+        assert!(dist.node(n(c)).is_helper(), "n{c} should be a helper");
+        assert!(!dist.node(n(c)).is_ready_heir());
+    }
+}
+
+fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential equivalence on uniformly random trees and orders.
+    #[test]
+    fn random_trees_differential(
+        nn in 3usize..18,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(nn, &mut rng);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let mut order: Vec<NodeId> = t.nodes().collect();
+        order.shuffle(&mut rng);
+        differential_run(&t, &order);
+    }
+}

@@ -1,0 +1,58 @@
+//! # ft-core — The Forgiving Tree
+//!
+//! A faithful Rust implementation of *"The Forgiving Tree: A Self-Healing
+//! Distributed Data Structure"* (Hayes, Rustagi, Saia, Trehan; PODC 2008).
+//!
+//! The data structure maintains a network (initially a rooted spanning tree)
+//! under repeated adversarial node deletions. After each deletion the
+//! neighbors of the dead node add O(1) edges according to a pre-distributed
+//! *will*, guaranteeing forever that
+//!
+//! 1. no node's degree grows by more than **3** (Theorem 1.1),
+//! 2. the diameter stays **O(D·log Δ)** (Theorem 1.2), and
+//! 3. each heal costs **O(1)** latency and O(1) messages per node
+//!    (Theorem 1.3).
+//!
+//! Two interchangeable engines are provided:
+//!
+//! - [`ForgivingTree`] (module [`spec`]): the exact virtual-tree semantics
+//!   with analytic message accounting — fast, and the reference for
+//!   correctness;
+//! - [`distributed::DistributedForgivingTree`]: per-node processors
+//!   exchanging real messages over the `ft-sim` synchronous network,
+//!   cross-validated against the spec engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ft_core::ForgivingTree;
+//! use ft_graph::{gen, tree::RootedTree, NodeId};
+//!
+//! // a complete 4-ary tree of 85 nodes
+//! let g = gen::kary_tree(85, 4);
+//! let t = RootedTree::from_tree_graph(&g, NodeId(0));
+//! let mut ft = ForgivingTree::new(&t);
+//!
+//! // the adversary deletes the root, then an internal node
+//! ft.delete(NodeId(0));
+//! ft.delete(NodeId(1));
+//!
+//! assert!(ft.graph().is_connected());
+//! assert!(ft.max_degree_increase() <= 3);
+//! ft.validate(); // full invariant audit
+//! ```
+
+pub mod distributed;
+mod invariants;
+pub mod report;
+pub mod shape;
+pub mod spec;
+mod varena;
+
+pub use report::{HealReport, HealStats};
+pub use spec::{ForgivingTree, RoleKind};
+
+#[cfg(test)]
+mod distributed_tests;
+#[cfg(test)]
+mod spec_tests;

@@ -1,0 +1,806 @@
+//! The Forgiving Tree specification engine.
+//!
+//! [`ForgivingTree`] maintains the paper's virtual tree *exactly* — real
+//! nodes, helper nodes, ready heirs, wills and slot representatives — under
+//! adversarial deletions, together with the real network as the homomorphic
+//! image of the virtual tree. It is "centralized" only in the sense that one
+//! data structure holds all node states; every heal touches O(degree) state
+//! and produces the same edge/message transcript the distributed protocol
+//! exchanges (the distributed implementation in [`crate::distributed`] is
+//! cross-validated against this engine).
+//!
+//! Terminology follows §3 of the paper:
+//!
+//! - every real node `v` owns a *will* ([`crate::shape::SubRtShape`])
+//!   describing how its children rebuild `RT(v)` when `v` dies;
+//! - each child *slot* of `v` has a *representative*: the live node that
+//!   holds that portion of the will and will simulate the slot's helper. A
+//!   representative is the original child, or the heir that replaced it;
+//! - a node *simulates* at most one helper vnode (its *role*): `None`,
+//!   *ready* (degree-2 heir-in-waiting) or *deployed* (degree-3 helper);
+//! - deleting an internal node splices its prepared SubRT in place
+//!   ([Algorithm 3.3/3.8/3.9]); deleting a leaf short-circuits redundant
+//!   helpers and passes the leaf's role to its parent ([Algorithm 3.4/3.7]).
+
+use crate::report::{HealReport, Ledger};
+use crate::shape::{PortionRef, ShapeConfig, SubRtShape};
+use crate::varena::{VArena, VId, VKind};
+use ft_graph::tree::RootedTree;
+use ft_graph::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// A live node's helper status (Figure 3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoleKind {
+    /// No helper duties ("wait" state).
+    Wait,
+    /// Simulating a ready-state heir (degree-2 virtual node).
+    Ready,
+    /// Simulating a deployed helper (degree-3 virtual node).
+    Deployed,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct RealInfo {
+    /// This node's own position in the virtual tree.
+    pub(crate) pos: VId,
+    /// The helper vnode this node simulates, if any.
+    pub(crate) role: Option<VId>,
+    /// The prepared SubRT plan (present iff the node has child slots).
+    pub(crate) will: Option<SubRtShape>,
+    /// Slot representative → current root vnode of that slot's subtree.
+    pub(crate) slots: BTreeMap<NodeId, VId>,
+}
+
+/// The Forgiving Tree data structure.
+///
+/// # Example
+///
+/// ```
+/// use ft_core::ForgivingTree;
+/// use ft_graph::{gen, tree::RootedTree, NodeId};
+///
+/// let g = gen::kary_tree(15, 2);
+/// let t = RootedTree::from_tree_graph(&g, NodeId(0));
+/// let mut ft = ForgivingTree::new(&t);
+/// let report = ft.delete(NodeId(1)); // adversary removes an internal node
+/// assert!(ft.graph().is_connected());
+/// assert!(ft.max_degree_increase() <= 3);
+/// assert!(report.max_messages_per_node <= 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ForgivingTree {
+    pub(crate) arena: VArena,
+    pub(crate) vroot: Option<VId>,
+    pub(crate) graph: Graph,
+    pub(crate) info: BTreeMap<NodeId, RealInfo>,
+    pub(crate) orig_degree: BTreeMap<NodeId, usize>,
+    pub(crate) edge_count: BTreeMap<(NodeId, NodeId), u32>,
+    pub(crate) initial_height: u32,
+    pub(crate) initial_max_degree: usize,
+    pub(crate) deletions: usize,
+}
+
+fn ord(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl ForgivingTree {
+    /// Initializes the data structure over a rooted spanning tree
+    /// (Algorithm 3.2: every node computes its SubRT and distributes its
+    /// will).
+    pub fn new(tree: &RootedTree) -> Self {
+        Self::with_config(tree, ShapeConfig::default())
+    }
+
+    /// Initializes with explicit SubRT construction knobs (E10 ablations).
+    pub fn with_config(tree: &RootedTree, config: ShapeConfig) -> Self {
+        let mut arena = VArena::new();
+        let mut pos = BTreeMap::new();
+        for v in tree.nodes() {
+            pos.insert(v, arena.alloc(VKind::Real(v)));
+        }
+        let mut edge_count = BTreeMap::new();
+        let mut info = BTreeMap::new();
+        let mut orig_degree = BTreeMap::new();
+        for v in tree.nodes() {
+            let children = tree.children(v);
+            if let Some(p) = tree.parent(v) {
+                arena.link(pos[&p], pos[&v]);
+                edge_count.insert(ord(p, v), 1);
+            }
+            let (will, slots) = if children.is_empty() {
+                (None, BTreeMap::new())
+            } else {
+                (
+                    Some(SubRtShape::build_with(children, config)),
+                    children.iter().map(|&c| (c, pos[&c])).collect(),
+                )
+            };
+            orig_degree.insert(v, tree.degree(v));
+            info.insert(
+                v,
+                RealInfo {
+                    pos: pos[&v],
+                    role: None,
+                    will,
+                    slots,
+                },
+            );
+        }
+        ForgivingTree {
+            arena,
+            vroot: Some(pos[&tree.root()]),
+            graph: tree.to_graph(),
+            info,
+            orig_degree,
+            edge_count,
+            initial_height: tree.height(),
+            initial_max_degree: tree.max_degree(),
+            deletions: 0,
+        }
+    }
+
+    /// The current healed network (the homomorphic image of the virtual
+    /// tree).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether `v` is still alive.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.info.contains_key(&v)
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// True when every node has been deleted.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+
+    /// Live node IDs in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.info.keys().copied()
+    }
+
+    /// Number of deletions healed so far.
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// The real node simulating the virtual root, if any node remains.
+    pub fn root_sim(&self) -> Option<NodeId> {
+        self.vroot.map(|r| self.arena.sim(r))
+    }
+
+    /// Height of the original spanning tree (the `h` of Theorem 1.2's
+    /// proof).
+    pub fn initial_height(&self) -> u32 {
+        self.initial_height
+    }
+
+    /// Maximum degree of the original spanning tree (the paper's Δ).
+    pub fn initial_max_degree(&self) -> usize {
+        self.initial_max_degree
+    }
+
+    /// The explicit-constant diameter bound this implementation guarantees:
+    /// `max(2, 2·h₀·(⌈log₂ max(Δ₀,2)⌉ + 2) + 2)` — the concrete form of
+    /// Theorem 1.2's `O(D log Δ)`.
+    pub fn diameter_bound(&self) -> u32 {
+        let delta = self.initial_max_degree.max(2) as f64;
+        let per_step = delta.log2().ceil() as u32 + 2;
+        (2 * self.initial_height * per_step + 2).max(2)
+    }
+
+    /// This node's original (spanning-tree) degree.
+    ///
+    /// # Panics
+    /// Panics for IDs that were never part of the tree.
+    pub fn original_degree(&self, v: NodeId) -> usize {
+        self.orig_degree[&v]
+    }
+
+    /// Degree increase of `v` over its original degree (0 for dead nodes).
+    pub fn degree_increase(&self, v: NodeId) -> i64 {
+        if !self.is_alive(v) {
+            return 0;
+        }
+        self.graph.degree(v) as i64 - self.orig_degree[&v] as i64
+    }
+
+    /// The largest degree increase any live node currently suffers
+    /// (Theorem 1.1 bounds this by 3, forever).
+    pub fn max_degree_increase(&self) -> i64 {
+        self.nodes()
+            .map(|v| self.degree_increase(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The heir named in `v`'s current will, if `v` has children slots.
+    pub fn heir_of(&self, v: NodeId) -> Option<NodeId> {
+        self.info.get(&v)?.will.as_ref()?.heir()
+    }
+
+    /// Current slot representatives of `v`'s will ("children(v)" in Table 1).
+    pub fn slot_reps(&self, v: NodeId) -> Vec<NodeId> {
+        self.info
+            .get(&v)
+            .map(|i| i.slots.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// `v`'s helper status (Figure 3's wait / ready / deployed).
+    pub fn role_kind(&self, v: NodeId) -> RoleKind {
+        match self.info.get(&v).and_then(|i| i.role) {
+            None => RoleKind::Wait,
+            Some(h) if self.arena.is_ready(h) => RoleKind::Ready,
+            Some(_) => RoleKind::Deployed,
+        }
+    }
+
+    /// The paper's `parent(v)` field: the simulator of the nearest ancestor
+    /// virtual node not simulated by `v` itself. `None` for the root.
+    pub fn parent_of(&self, v: NodeId) -> Option<NodeId> {
+        let info = self.info.get(&v)?;
+        let mut cur = self.arena.node(info.pos).parent?;
+        loop {
+            let s = self.arena.sim(cur);
+            if s != v {
+                return Some(s);
+            }
+            cur = self.arena.node(cur).parent?;
+        }
+    }
+
+    /// The will portions `v` currently has distributed (for Figure 2 style
+    /// introspection).
+    pub fn will_portions(&self, v: NodeId) -> Vec<crate::shape::Portion> {
+        self.info
+            .get(&v)
+            .and_then(|i| i.will.as_ref())
+            .map(|w| w.all_portions().into_values().collect())
+            .unwrap_or_default()
+    }
+
+    /// Deletes node `v` (the adversary's move) and heals the network,
+    /// returning the heal transcript.
+    ///
+    /// # Panics
+    /// Panics if `v` is not alive.
+    pub fn delete(&mut self, v: NodeId) -> HealReport {
+        let info = self
+            .info
+            .remove(&v)
+            .unwrap_or_else(|| panic!("{v:?} is not alive"));
+        let was_leaf = info.slots.is_empty();
+        let neighbors = self.graph.delete_node(v);
+        let mut led = Ledger::new(v, was_leaf);
+        led.notify(&neighbors);
+        if was_leaf {
+            self.heal_leaf(v, info, &mut led);
+        } else {
+            self.heal_internal(v, info, &mut led);
+        }
+        self.deletions += 1;
+        led.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // image maintenance
+    // ------------------------------------------------------------------
+
+    fn vlink(&mut self, parent: VId, child: VId, led: &mut Ledger) {
+        self.arena.link(parent, child);
+        let (a, b) = (self.arena.sim(parent), self.arena.sim(child));
+        if a == b {
+            return;
+        }
+        let cnt = self.edge_count.entry(ord(a, b)).or_insert(0);
+        *cnt += 1;
+        if *cnt == 1 {
+            self.graph.add_edge(a, b);
+            led.edge_added(a, b);
+        }
+    }
+
+    fn vunlink(&mut self, parent: VId, child: VId, led: &mut Ledger, dying: NodeId) {
+        let (a, b) = (self.arena.sim(parent), self.arena.sim(child));
+        self.arena.unlink(parent, child);
+        if a == b {
+            return;
+        }
+        let key = ord(a, b);
+        let cnt = self
+            .edge_count
+            .get_mut(&key)
+            .expect("image edge accounting out of sync");
+        *cnt -= 1;
+        if *cnt == 0 {
+            self.edge_count.remove(&key);
+            if a != dying && b != dying {
+                self.graph.remove_edge(a, b);
+                led.edge_removed(a, b);
+            }
+        }
+    }
+
+    /// Hands the helper vnode `h` over to a new simulator, updating the
+    /// image and charging field-update messages to the affected neighbors.
+    fn set_sim(&mut self, h: VId, new_sim: NodeId, led: &mut Ledger, dying: NodeId) {
+        let old = self.arena.sim(h);
+        if old == new_sim {
+            return;
+        }
+        let node = self.arena.node(h);
+        let mut nbrs: Vec<NodeId> = node.children.iter().map(|&c| self.arena.sim(c)).collect();
+        if let Some(p) = node.parent {
+            nbrs.push(self.arena.sim(p));
+        }
+        for &s in &nbrs {
+            // retract the old image edge
+            if s != old {
+                let key = ord(old, s);
+                let cnt = self
+                    .edge_count
+                    .get_mut(&key)
+                    .expect("image edge accounting out of sync");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.edge_count.remove(&key);
+                    if old != dying && s != dying {
+                        self.graph.remove_edge(old, s);
+                        led.edge_removed(old, s);
+                    }
+                }
+            }
+            // assert the new image edge
+            if s != new_sim {
+                let cnt = self.edge_count.entry(ord(new_sim, s)).or_insert(0);
+                *cnt += 1;
+                if *cnt == 1 {
+                    self.graph.add_edge(new_sim, s);
+                    led.edge_added(new_sim, s);
+                }
+                led.field_update(new_sim, s);
+            }
+        }
+        match &mut self.arena.node_mut(h).kind {
+            VKind::Helper { sim, .. } => *sim = new_sim,
+            VKind::Real(_) => panic!("set_sim on a real vnode"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // healing
+    // ------------------------------------------------------------------
+
+    /// FixNodeDeletion (Algorithm 3.3): replace the dead internal node by
+    /// its Reconstruction Tree.
+    fn heal_internal(&mut self, v: NodeId, info: RealInfo, led: &mut Ledger) {
+        let x = info.pos;
+        let role = info.role;
+        let will = info.will.expect("internal node has a will");
+        let mut slots = info.slots;
+        let px = self.arena.node(x).parent;
+
+        // A. Detach every slot subtree from x; bypass ready-state roles of
+        //    slot representatives first (Algorithm 3.8 lines 2-4).
+        let reps: Vec<NodeId> = slots.keys().copied().collect();
+        for &rep in &reps {
+            let root = slots[&rep];
+            match self.info[&rep].role {
+                Some(rv) if rv == root => {
+                    assert!(
+                        self.arena.is_ready(rv),
+                        "INV-C: a slot-root role must be a ready heir"
+                    );
+                    let child = self.arena.node(rv).children[0];
+                    self.vunlink(rv, child, led, v);
+                    self.vunlink(x, rv, led, v);
+                    self.arena.release(rv);
+                    self.info.get_mut(&rep).expect("rep alive").role = None;
+                    slots.insert(rep, child);
+                }
+                Some(other) => panic!(
+                    "INV-C violated: slot rep {rep:?} holds role {other:?} ≠ slot root {root:?}"
+                ),
+                None => {
+                    debug_assert_eq!(
+                        root, self.info[&rep].pos,
+                        "a role-free rep is its own slot root"
+                    );
+                    self.vunlink(x, root, led, v);
+                }
+            }
+        }
+
+        // B. Detach x from its parent and retire it.
+        if let Some(p) = px {
+            self.vunlink(p, x, led, v);
+        }
+        self.arena.release(x);
+
+        // C. Instantiate the SubRT from the prepared will (Algorithm 3.9:
+        //    every non-heir representative becomes a deployed helper).
+        let mut created: BTreeMap<NodeId, VId> = BTreeMap::new();
+        let mut plan: Vec<(NodeId, PortionRef, PortionRef)> = Vec::new();
+        let root_ref = will.visit_internals(|sim, l, r| plan.push((sim, l, r)));
+        for (sim, l, r) in plan {
+            let hv = self.arena.alloc(VKind::Helper { sim, ready: false });
+            let li = Self::resolve(&created, &slots, l);
+            let ri = Self::resolve(&created, &slots, r);
+            self.vlink(hv, li, led);
+            self.vlink(hv, ri, led);
+            let rinfo = self.info.get_mut(&sim).expect("rep alive");
+            assert!(rinfo.role.is_none(), "rep {sim:?} already busy");
+            rinfo.role = Some(hv);
+            created.insert(sim, hv);
+        }
+        let subrt_root = match root_ref.expect("internal node has ≥1 slot") {
+            PortionRef::Helper(s) => created[&s],
+            PortionRef::Slot(r) => slots[&r],
+        };
+        let heir = will.heir().expect("nonempty will");
+
+        // D. Place the heir (Algorithm 3.6's two modes).
+        match role {
+            None => {
+                // v had no helper duties: the heir becomes a ready-state
+                // heir above the SubRT root, under v's old parent.
+                let rv = self.arena.alloc(VKind::Helper {
+                    sim: heir,
+                    ready: true,
+                });
+                {
+                    let hinfo = self.info.get_mut(&heir).expect("heir alive");
+                    assert!(hinfo.role.is_none(), "heir {heir:?} already busy");
+                    hinfo.role = Some(rv);
+                }
+                self.vlink(rv, subrt_root, led);
+                match px {
+                    None => self.vroot = Some(rv),
+                    Some(p) => {
+                        self.vlink(p, rv, led);
+                        if let VKind::Real(pid) = self.arena.node(p).kind {
+                            // "hparent(h) replaces v by h in SubRT" (Alg 3.3)
+                            let pinfo = self.info.get_mut(&pid).expect("parent alive");
+                            pinfo.slots.remove(&v).expect("v was a slot of its parent");
+                            pinfo.slots.insert(heir, rv);
+                            let delta = pinfo
+                                .will
+                                .as_mut()
+                                .expect("parent of a slot has a will")
+                                .replace_rep(v, heir);
+                            led.portions(pid, delta.changed);
+                        }
+                    }
+                }
+            }
+            Some(hv) => {
+                // v had helper duties: the heir takes them over wholesale
+                // (ready stays ready, deployed stays deployed).
+                {
+                    let hinfo = self.info.get_mut(&heir).expect("heir alive");
+                    assert!(hinfo.role.is_none(), "heir {heir:?} already busy");
+                    hinfo.role = Some(hv);
+                }
+                self.set_sim(hv, heir, led, v);
+                match px {
+                    None => self.vroot = Some(subrt_root),
+                    Some(p) => {
+                        self.vlink(p, subrt_root, led);
+                        assert!(
+                            !matches!(self.arena.node(p).kind, VKind::Real(_)),
+                            "a node with helper duties cannot hang under a live original parent"
+                        );
+                    }
+                }
+                if self.arena.is_ready(hv) {
+                    // v was a promoted slot representative: its owner's will
+                    // now addresses the heir.
+                    if let Some(pp) = self.arena.node(hv).parent {
+                        if let VKind::Real(pid) = self.arena.node(pp).kind {
+                            let pinfo = self.info.get_mut(&pid).expect("owner alive");
+                            let old = pinfo.slots.remove(&v).expect("v was a rep of its owner");
+                            assert_eq!(old, hv);
+                            pinfo.slots.insert(heir, hv);
+                            let delta = pinfo
+                                .will
+                                .as_mut()
+                                .expect("owner has a will")
+                                .replace_rep(v, heir);
+                            led.portions(pid, delta.changed);
+                        }
+                    }
+                }
+            }
+        }
+
+        // E. Fresh LeafWills: representatives that are tree leaves and now
+        //    hold helper duties entrust them to their parents (Alg 3.3 l.7-11).
+        for rep in reps {
+            let i = &self.info[&rep];
+            if i.slots.is_empty() && i.role.is_some() {
+                if let Some(par) = self.parent_of(rep) {
+                    led.leafwill(rep, par);
+                }
+            }
+        }
+    }
+
+    fn resolve(
+        created: &BTreeMap<NodeId, VId>,
+        slots: &BTreeMap<NodeId, VId>,
+        r: PortionRef,
+    ) -> VId {
+        match r {
+            PortionRef::Helper(s) => created[&s],
+            PortionRef::Slot(rep) => slots[&rep],
+        }
+    }
+
+    /// FixLeafDeletion (Algorithm 3.4): short-circuit redundant helpers and
+    /// execute the LeafWill.
+    fn heal_leaf(&mut self, v: NodeId, info: RealInfo, led: &mut Ledger) {
+        let x = info.pos;
+        let role = info.role;
+        let Some(p_vid) = self.arena.node(x).parent else {
+            // v was the last node of the structure
+            assert!(role.is_none(), "a sole surviving node cannot hold a role");
+            assert_eq!(self.vroot, Some(x), "parentless vnode must be the root");
+            self.arena.release(x);
+            self.vroot = None;
+            return;
+        };
+        match self.arena.node(p_vid).kind.clone() {
+            VKind::Real(p) => {
+                // Simple case (§3.1.3): the leaf hung under its original
+                // live parent; it cannot hold helper duties (see DESIGN.md
+                // erratum 1 — the paper's Alg 3.4 line 2 misprints this
+                // condition).
+                assert!(
+                    role.is_none(),
+                    "leaf under its live original parent cannot hold a role"
+                );
+                self.vunlink(p_vid, x, led, v);
+                self.arena.release(x);
+                let pinfo = self.info.get_mut(&p).expect("parent alive");
+                pinfo.slots.remove(&v).expect("v was a slot of its parent");
+                let delta = pinfo
+                    .will
+                    .as_mut()
+                    .expect("parent of a slot has a will")
+                    .remove_slot(v);
+                led.portions(p, delta.changed);
+                let became_leaf = pinfo.will.as_ref().expect("just used").is_empty();
+                if became_leaf {
+                    pinfo.will = None;
+                    if pinfo.role.is_some() {
+                        if let Some(gp) = self.parent_of(p) {
+                            led.leafwill(p, gp);
+                        }
+                    }
+                }
+            }
+            VKind::Helper { sim, ready } if sim == v => {
+                // v's virtual parent is v's own helper: both vanish together
+                // (MakeLeafWill's special case, Alg 3.7 lines 2-4).
+                assert_eq!(role, Some(p_vid), "helper above v simulated by v is v's role");
+                self.vunlink(p_vid, x, led, v);
+                self.arena.release(x);
+                let others: Vec<VId> = self.arena.node(p_vid).children.clone();
+                let pp = self.arena.node(p_vid).parent;
+                for &o in &others {
+                    self.vunlink(p_vid, o, led, v);
+                }
+                if let Some(pp2) = pp {
+                    self.vunlink(pp2, p_vid, led, v);
+                }
+                self.arena.release(p_vid);
+                if ready {
+                    // the ready vnode lost its only child: the whole slot
+                    // dissolves.
+                    assert!(others.is_empty(), "ready vnode has one child");
+                    match pp {
+                        None => {
+                            self.vroot = None;
+                            assert!(
+                                self.info.is_empty(),
+                                "root ready-heir chain implies v was the last node"
+                            );
+                        }
+                        Some(pp2) => match self.arena.node(pp2).kind.clone() {
+                            VKind::Real(g) => {
+                                let ginfo = self.info.get_mut(&g).expect("owner alive");
+                                ginfo.slots.remove(&v).expect("v was a rep of its owner");
+                                let delta = ginfo
+                                    .will
+                                    .as_mut()
+                                    .expect("owner has a will")
+                                    .remove_slot(v);
+                                led.portions(g, delta.changed);
+                                if ginfo.will.as_ref().expect("just used").is_empty() {
+                                    ginfo.will = None;
+                                    if ginfo.role.is_some() {
+                                        if let Some(ggp) = self.parent_of(g) {
+                                            led.leafwill(g, ggp);
+                                        }
+                                    }
+                                }
+                            }
+                            VKind::Helper { ready: r2, .. } => {
+                                assert!(!r2, "ready vnodes never parent ready vnodes");
+                                // pp2 dropped from 2 children to 1: redundant
+                                self.short_circuit(pp2, led, v);
+                            }
+                        },
+                    }
+                } else {
+                    assert_eq!(others.len(), 1, "deployed helper has two children");
+                    let y = others[0];
+                    match pp {
+                        None => self.vroot = Some(y),
+                        Some(pp2) => {
+                            assert!(
+                                !matches!(self.arena.node(pp2).kind, VKind::Real(_)),
+                                "a deployed helper never hangs under a live original parent"
+                            );
+                            self.vlink(pp2, y, led);
+                        }
+                    }
+                }
+            }
+            VKind::Helper { sim: q, ready } => {
+                // General helper-parent case: P drops to one child, is
+                // short-circuited, and q inherits v's helper duties from the
+                // LeafWill (Alg 3.4 lines 7-16).
+                assert!(!ready, "a ready vnode's only child is its simulator's position");
+                self.vunlink(p_vid, x, led, v);
+                self.arena.release(x);
+                let y = {
+                    let ch = &self.arena.node(p_vid).children;
+                    assert_eq!(ch.len(), 1, "P had two children before v died");
+                    ch[0]
+                };
+                let pp = self.arena.node(p_vid).parent;
+                self.vunlink(p_vid, y, led, v);
+                if let Some(pp2) = pp {
+                    self.vunlink(pp2, p_vid, led, v);
+                }
+                self.arena.release(p_vid);
+                {
+                    let qinfo = self.info.get_mut(&q).expect("simulator alive");
+                    assert_eq!(qinfo.role, Some(p_vid), "q simulates P");
+                    qinfo.role = None;
+                }
+                // Execute the LeafWill *before* re-linking: v's old role
+                // vnode may be the very parent the spliced child re-attaches
+                // under, and its simulator must already be q by then.
+                if let Some(hv) = role {
+                    assert_ne!(hv, p_vid, "handled by the sim == v branch");
+                    self.set_sim(hv, q, led, v);
+                    self.info.get_mut(&q).expect("alive").role = Some(hv);
+                }
+                match pp {
+                    None => self.vroot = Some(y),
+                    Some(pp2) => {
+                        assert!(
+                            !matches!(self.arena.node(pp2).kind, VKind::Real(_)),
+                            "a deployed helper never hangs under a live original parent"
+                        );
+                        self.vlink(pp2, y, led);
+                    }
+                }
+                if let Some(hv) = role {
+                    if self.arena.is_ready(hv) {
+                        // v was a promoted representative: its owner's will
+                        // now addresses q ("p detects this and sets its
+                        // flags accordingly").
+                        if let Some(hp) = self.arena.node(hv).parent {
+                            if let VKind::Real(w) = self.arena.node(hp).kind {
+                                let winfo = self.info.get_mut(&w).expect("owner alive");
+                                let old =
+                                    winfo.slots.remove(&v).expect("v was a rep of its owner");
+                                assert_eq!(old, hv);
+                                winfo.slots.insert(q, hv);
+                                let delta = winfo
+                                    .will
+                                    .as_mut()
+                                    .expect("owner has a will")
+                                    .replace_rep(v, q);
+                                led.portions(w, delta.changed);
+                            }
+                        }
+                    }
+                }
+                // q's helper duties changed either way: refresh its LeafWill
+                // if q is itself a tree leaf.
+                if self.info[&q].slots.is_empty() {
+                    if let Some(qp) = self.parent_of(q) {
+                        led.leafwill(q, qp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Short-circuits a deployed helper that dropped to a single child
+    /// (§3: "its degree has now reduced from 3 to 2, at which point we
+    /// consider it redundant").
+    fn short_circuit(&mut self, h: VId, led: &mut Ledger, dying: NodeId) {
+        let s = self.arena.sim(h);
+        assert!(
+            self.arena.is_helper(h) && !self.arena.is_ready(h),
+            "short-circuit expects a deployed helper"
+        );
+        let y = {
+            let ch = &self.arena.node(h).children;
+            assert_eq!(ch.len(), 1, "short-circuit expects a single child");
+            ch[0]
+        };
+        let pp = self.arena.node(h).parent;
+        self.vunlink(h, y, led, dying);
+        if let Some(pp2) = pp {
+            self.vunlink(pp2, h, led, dying);
+        }
+        self.arena.release(h);
+        {
+            let sinfo = self.info.get_mut(&s).expect("simulator alive");
+            assert_eq!(sinfo.role, Some(h), "s simulates h");
+            sinfo.role = None;
+        }
+        match pp {
+            None => self.vroot = Some(y),
+            Some(pp2) => {
+                assert!(
+                    !matches!(self.arena.node(pp2).kind, VKind::Real(_)),
+                    "a deployed helper never hangs under a live original parent"
+                );
+                self.vlink(pp2, y, led);
+            }
+        }
+        // s lost its helper duties: refresh the LeafWill its parent holds.
+        if self.info[&s].slots.is_empty() {
+            if let Some(sp) = self.parent_of(s) {
+                led.leafwill(s, sp);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // debugging / figures
+    // ------------------------------------------------------------------
+
+    /// Renders the virtual tree in Graphviz DOT (real nodes as boxes,
+    /// helpers as ellipses labelled by simulator, ready heirs dashed).
+    pub fn virtual_dot(&self) -> String {
+        let mut s = String::from("digraph virtual {\n");
+        for id in self.arena.ids() {
+            let label = match self.arena.node(id).kind {
+                VKind::Real(v) => format!("  v{id:?} [shape=box,label=\"{v}\"];\n"),
+                VKind::Helper { sim, ready: true } => {
+                    format!("  v{id:?} [shape=ellipse,style=dashed,label=\"heir({sim})\"];\n")
+                }
+                VKind::Helper { sim, ready: false } => {
+                    format!("  v{id:?} [shape=ellipse,label=\"h({sim})\"];\n")
+                }
+            };
+            s.push_str(&label);
+        }
+        for (p, c) in self.arena.vedges() {
+            s.push_str(&format!("  v{p:?} -> v{c:?};\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}

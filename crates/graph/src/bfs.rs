@@ -1,0 +1,200 @@
+//! Breadth-first search, distances, eccentricity and diameter.
+//!
+//! Theorem 1.2 of the paper bounds the *diameter* of the healed network;
+//! every diameter experiment in this repository goes through this module.
+//! Exact diameter is `O(n·m)` (one BFS per node) which is fine at experiment
+//! scale (n ≤ a few thousand); for larger sweeps the double-sweep lower
+//! bound [`diameter_double_sweep`] is provided.
+
+use crate::{Graph, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Distances (in hops) from `src` to every node reachable from it.
+///
+/// The map contains `src` itself with distance 0. Nodes not reachable from
+/// `src` (or dead nodes) are absent.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> HashMap<NodeId, u32> {
+    let mut dist = HashMap::new();
+    if !g.is_alive(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist.insert(src, 0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for u in g.neighbors(v) {
+            dist.entry(u).or_insert_with(|| {
+                queue.push_back(u);
+                d + 1
+            });
+        }
+    }
+    dist
+}
+
+/// BFS that also records parents, yielding a BFS tree rooted at `src`.
+///
+/// Returns `(dist, parent)`; the root has no parent entry.
+pub fn bfs_tree(g: &Graph, src: NodeId) -> (HashMap<NodeId, u32>, HashMap<NodeId, NodeId>) {
+    let mut dist = HashMap::new();
+    let mut parent = HashMap::new();
+    if !g.is_alive(src) {
+        return (dist, parent);
+    }
+    let mut queue = VecDeque::new();
+    dist.insert(src, 0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for u in g.neighbors(v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                e.insert(d + 1);
+                parent.insert(u, v);
+                queue.push_back(u);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest-path distance between `a` and `b`, or `None` if disconnected.
+pub fn distance(g: &Graph, a: NodeId, b: NodeId) -> Option<u32> {
+    bfs_distances(g, a).get(&b).copied()
+}
+
+/// Eccentricity of `v`: max distance from `v` to any reachable node.
+/// `None` if `v` is dead or the graph is disconnected from `v`'s view
+/// (strictly: returns the max over the reachable component).
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    if dist.is_empty() {
+        return None;
+    }
+    dist.values().max().copied()
+}
+
+/// Exact diameter of the live graph (max pairwise shortest-path distance).
+///
+/// Returns `None` for an empty graph and for disconnected graphs (where the
+/// diameter is conventionally infinite). A single live node has diameter 0.
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    let n = g.len();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        if dist.len() != n {
+            return None; // disconnected
+        }
+        best = best.max(*dist.values().max().expect("nonempty"));
+    }
+    Some(best)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from an arbitrary node to
+/// find the farthest node `u`, then BFS from `u`. Exact on trees; a lower
+/// bound in general. `None` for empty/disconnected graphs.
+pub fn diameter_double_sweep(g: &Graph) -> Option<u32> {
+    let start = g.nodes().next()?;
+    let d1 = bfs_distances(g, start);
+    if d1.len() != g.len() {
+        return None;
+    }
+    let (&u, _) = d1.iter().max_by_key(|&(id, d)| (*d, std::cmp::Reverse(*id)))?;
+    let d2 = bfs_distances(g, u);
+    d2.values().max().copied()
+}
+
+/// All-pairs shortest path distances as a map; `O(n·m)` time, `O(n²)` space.
+/// Intended for stretch experiments at modest n.
+pub fn all_pairs_distances(g: &Graph) -> HashMap<(NodeId, NodeId), u32> {
+    let mut out = HashMap::new();
+    for v in g.nodes() {
+        for (u, d) in bfs_distances(g, v) {
+            out.insert((v, u), d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[&NodeId(0)], 0);
+        assert_eq!(d[&NodeId(3)], 3);
+        assert_eq!(distance(&g, NodeId(3), NodeId(0)), Some(3));
+    }
+
+    #[test]
+    fn bfs_tree_parents_point_toward_root() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let (dist, parent) = bfs_tree(&g, NodeId(0));
+        assert_eq!(dist[&NodeId(2)], 2);
+        assert!(!parent.contains_key(&NodeId(0)));
+        // every non-root parent is exactly one hop closer to the root
+        for (v, p) in &parent {
+            assert_eq!(dist[v], dist[p] + 1);
+        }
+    }
+
+    #[test]
+    fn diameter_of_star_is_two() {
+        let g = gen::star(9);
+        assert_eq!(diameter_exact(&g), Some(2));
+        assert_eq!(diameter_double_sweep(&g), Some(2));
+    }
+
+    #[test]
+    fn diameter_of_path_is_n_minus_one() {
+        let g = gen::path(10);
+        assert_eq!(diameter_exact(&g), Some(9));
+        assert_eq!(diameter_double_sweep(&g), Some(9));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter_exact(&g), None);
+        assert_eq!(diameter_double_sweep(&g), None);
+        g.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(diameter_exact(&g), Some(3));
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_random_trees() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gen::random_tree(40, &mut rng);
+            assert_eq!(diameter_exact(&g), diameter_double_sweep(&g));
+        }
+    }
+
+    #[test]
+    fn eccentricity_on_path_endpoints() {
+        let g = gen::path(5);
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = gen::cycle(6);
+        let ap = all_pairs_distances(&g);
+        for v in g.nodes() {
+            for u in g.nodes() {
+                assert_eq!(ap[&(v, u)], ap[&(u, v)]);
+            }
+        }
+        assert_eq!(ap[&(NodeId(0), NodeId(3))], 3);
+    }
+}

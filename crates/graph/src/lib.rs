@@ -1,0 +1,358 @@
+//! Graph substrate for the Forgiving Tree reproduction.
+//!
+//! This crate provides the undirected-graph machinery the paper implicitly
+//! relies on: an adjacency-set graph type ([`Graph`]), breadth-first search
+//! and distance queries ([`bfs`]), exact and estimated diameter computation,
+//! rooted spanning trees ([`tree`]), and the workload generators used by the
+//! experiments ([`gen`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ft_graph::{Graph, NodeId};
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(NodeId(0), NodeId(1));
+//! g.add_edge(NodeId(1), NodeId(2));
+//! g.add_edge(NodeId(2), NodeId(3));
+//! assert!(g.is_connected());
+//! assert_eq!(ft_graph::bfs::diameter_exact(&g), Some(3));
+//! ```
+
+pub mod bfs;
+pub mod gen;
+pub mod tree;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node (processor) in the network.
+///
+/// The Forgiving Tree algorithm assumes "each node v has a unique
+/// identification number which we call ID(v)" (§3.1.1); `NodeId` is that
+/// number. IDs are dense (`0..n`) in freshly generated graphs but deletion
+/// leaves holes, so code must never assume contiguity after healing starts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for dense arrays sized by the initial node count.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An undirected simple graph over nodes `0..capacity`, supporting node
+/// deletion (the adversary's move) and edge insertion/removal (the healer's
+/// move).
+///
+/// Adjacency is kept in `BTreeSet`s so that iteration order is deterministic,
+/// which keeps every experiment and property test reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<BTreeSet<NodeId>>,
+    alive: Vec<bool>,
+    num_alive: usize,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated live nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+            alive: vec![true; n],
+            num_alive: n,
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an explicit edge list over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    /// Number of node slots (live or deleted); valid IDs are `0..capacity`.
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.num_alive
+    }
+
+    /// True when no live nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.num_alive == 0
+    }
+
+    /// Number of (undirected) edges between live nodes.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Is `v` a live node?
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        v.index() < self.alive.len() && self.alive[v.index()]
+    }
+
+    /// Iterator over live node IDs in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Neighbors of `v` in ascending ID order.
+    ///
+    /// # Panics
+    /// Panics if `v` was never a node of this graph.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// The degree of `v` (0 for deleted nodes).
+    pub fn degree(&self, v: NodeId) -> usize {
+        if self.is_alive(v) {
+            self.adj[v.index()].len()
+        } else {
+            0
+        }
+    }
+
+    /// Maximum degree over live nodes (Δ in the paper); 0 for empty graphs.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the (undirected) edge `{a, b}` is present.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_alive(a) && self.is_alive(b) && self.adj[a.index()].contains(&b)
+    }
+
+    /// Inserts the undirected edge `{a, b}`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics on self-loops or dead/out-of-range endpoints: the healing
+    /// algorithms must never produce those, so they are bugs, not errors.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert_ne!(a, b, "self-loop {a:?}");
+        assert!(self.is_alive(a), "add_edge: {a:?} is not alive");
+        assert!(self.is_alive(b), "add_edge: {b:?} is not alive");
+        let inserted = self.adj[a.index()].insert(b);
+        if inserted {
+            self.adj[b.index()].insert(a);
+            self.num_edges += 1;
+        }
+        inserted
+    }
+
+    /// Removes the undirected edge `{a, b}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+            return false;
+        }
+        let removed = self.adj[a.index()].remove(&b);
+        if removed {
+            self.adj[b.index()].remove(&a);
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// Deletes node `v` (the adversary's move), dropping all incident edges.
+    ///
+    /// Returns the former neighbors of `v` — exactly the set of processors
+    /// the model notifies of the deletion.
+    ///
+    /// # Panics
+    /// Panics if `v` is not alive.
+    pub fn delete_node(&mut self, v: NodeId) -> Vec<NodeId> {
+        assert!(self.is_alive(v), "delete_node: {v:?} is not alive");
+        let nbrs: Vec<NodeId> = self.adj[v.index()].iter().copied().collect();
+        for &u in &nbrs {
+            self.adj[u.index()].remove(&v);
+        }
+        self.num_edges -= nbrs.len();
+        self.adj[v.index()].clear();
+        self.alive[v.index()] = false;
+        self.num_alive -= 1;
+        nbrs
+    }
+
+    /// All edges `(a, b)` with `a < b`, in lexicographic order.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for v in self.nodes() {
+            for u in self.neighbors(v) {
+                if v < u {
+                    out.push((v, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the live portion of the graph is connected
+    /// (vacuously true for 0 or 1 live nodes).
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.nodes().next() else {
+            return true;
+        };
+        bfs::bfs_distances(self, start).len() == self.num_alive
+    }
+
+    /// Degree of every live node keyed by ID (useful for degree-increase
+    /// accounting against the original graph).
+    pub fn degree_map(&self) -> std::collections::BTreeMap<NodeId, usize> {
+        self.nodes().map(|v| (v, self.degree(v))).collect()
+    }
+
+    /// Renders the graph in Graphviz DOT format (undirected).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = format!("graph {name} {{\n");
+        for v in self.nodes() {
+            s.push_str(&format!("  {};\n", v.0));
+        }
+        for (a, b) in self.edges() {
+            s.push_str(&format!("  {} -- {};\n", a.0, b.0));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl PartialEq for Graph {
+    /// Two graphs are equal when they have the same live node set and the
+    /// same edge set (capacity is ignored).
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes().collect::<Vec<_>>() == other.nodes().collect::<Vec<_>>()
+            && self.edges() == other.edges()
+    }
+}
+
+impl Eq for Graph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_is_edgeless_and_connectedness_trivial() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+        let g = Graph::new(1);
+        assert_eq!(g.len(), 1);
+        assert!(g.is_connected());
+        let g = Graph::new(2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn add_remove_edge_roundtrip() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)), "duplicate edge");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn delete_node_reports_neighbors_and_drops_edges() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        let nbrs = g.delete_node(NodeId(0));
+        assert_eq!(nbrs, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(!g.is_alive(NodeId(0)));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+        assert!(!g.is_connected(), "node 1 is isolated now");
+    }
+
+    #[test]
+    #[should_panic(expected = "not alive")]
+    fn double_delete_panics() {
+        let mut g = Graph::new(2);
+        g.delete_node(NodeId(0));
+        g.delete_node(NodeId(0));
+    }
+
+    #[test]
+    fn edges_are_sorted_and_unique() {
+        let g = Graph::from_edges(4, &[(2, 3), (0, 3), (0, 1)]);
+        assert_eq!(
+            g.edges(),
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(2), NodeId(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn max_degree_tracks_deletions() {
+        let mut g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.max_degree(), 4);
+        g.delete_node(NodeId(0));
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn graph_equality_ignores_capacity() {
+        let mut a = Graph::from_edges(5, &[(0, 1)]);
+        let b = Graph::from_edges(2, &[(0, 1)]);
+        for i in 2..5 {
+            a.delete_node(NodeId(i));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dot_output_contains_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = g.to_dot("g");
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Rooted spanning trees.
+//!
+//! The Forgiving Tree "begins with a rooted spanning tree T, which without
+//! loss of generality may as well be the entire network" (§3). This module
+//! provides the [`RootedTree`] handed to the healer: either the input graph
+//! itself (when it is a tree) or a BFS spanning tree extracted from a general
+//! graph during the setup phase.
+
+use crate::{bfs, Graph, NodeId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A rooted tree over a set of node IDs.
+///
+/// Children lists are kept sorted by ID, matching the paper's convention of
+/// arranging children "in sorted (say, ascending) order of their IDs".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: BTreeMap<NodeId, NodeId>,
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from explicit `(child, parent)` pairs plus a root.
+    ///
+    /// # Panics
+    /// Panics if the pairs do not describe a tree rooted at `root` (cycles,
+    /// disconnection, duplicate children, or parent chains that miss the
+    /// root).
+    pub fn from_parent_pairs(root: NodeId, pairs: &[(NodeId, NodeId)]) -> Self {
+        let mut parent = BTreeMap::new();
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        children.entry(root).or_default();
+        for &(c, p) in pairs {
+            assert_ne!(c, root, "root cannot have a parent");
+            let prev = parent.insert(c, p);
+            assert!(prev.is_none(), "node {c:?} has two parents");
+            children.entry(p).or_default().push(c);
+            children.entry(c).or_default();
+        }
+        for list in children.values_mut() {
+            list.sort_unstable();
+        }
+        let t = RootedTree {
+            root,
+            parent,
+            children,
+        };
+        t.validate();
+        t
+    }
+
+    /// Interprets a tree-shaped [`Graph`] as a tree rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if the graph is not connected or has `edges != nodes - 1`
+    /// (i.e. is not a tree), or if `root` is not a live node.
+    pub fn from_tree_graph(g: &Graph, root: NodeId) -> Self {
+        assert!(g.is_alive(root), "root {root:?} is not alive");
+        assert!(g.is_connected(), "graph is not connected");
+        assert_eq!(g.num_edges() + 1, g.len(), "graph is not a tree");
+        let (_, parent) = bfs::bfs_tree(g, root);
+        let pairs: Vec<(NodeId, NodeId)> = parent.into_iter().collect();
+        Self::from_parent_pairs(root, &pairs)
+    }
+
+    /// Extracts the BFS spanning tree of a connected graph, rooted at `root`.
+    /// This is the centralized stand-in for the distributed setup phase (the
+    /// distributed protocol lives in `ft-sim`).
+    ///
+    /// # Panics
+    /// Panics if the graph is disconnected or `root` is dead.
+    pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
+        assert!(g.is_alive(root), "root {root:?} is not alive");
+        let (dist, parent) = bfs::bfs_tree(g, root);
+        assert_eq!(dist.len(), g.len(), "graph is not connected");
+        let pairs: Vec<(NodeId, NodeId)> = parent.into_iter().collect();
+        Self::from_parent_pairs(root, &pairs)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the tree has no nodes — never the case for constructed
+    /// trees, which always contain at least the root.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// All node IDs in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.children.keys().copied()
+    }
+
+    /// Whether `v` belongs to the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.children.contains_key(&v)
+    }
+
+    /// The parent of `v`, or `None` for the root.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in the tree.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        assert!(self.contains(v), "{v:?} not in tree");
+        self.parent.get(&v).copied()
+    }
+
+    /// The children of `v`, sorted ascending by ID.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in the tree.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children
+            .get(&v)
+            .unwrap_or_else(|| panic!("{v:?} not in tree"))
+    }
+
+    /// Whether `v` is a leaf (no children).
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children(v).is_empty()
+    }
+
+    /// Tree degree of `v` (children + parent edge).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.children(v).len() + usize::from(self.parent(v).is_some())
+    }
+
+    /// Maximum tree degree (Δ of the spanning tree).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Depth of each node (root = 0).
+    pub fn depths(&self) -> HashMap<NodeId, u32> {
+        let mut depths = HashMap::with_capacity(self.len());
+        let mut stack = vec![(self.root, 0u32)];
+        while let Some((v, d)) = stack.pop() {
+            depths.insert(v, d);
+            for &c in self.children(v) {
+                stack.push((c, d + 1));
+            }
+        }
+        depths
+    }
+
+    /// Height of the tree: maximum node depth (0 for a single node).
+    pub fn height(&self) -> u32 {
+        self.depths().values().max().copied().unwrap_or(0)
+    }
+
+    /// The tree as an undirected [`Graph`] (capacity = max ID + 1; IDs not in
+    /// the tree are marked dead).
+    pub fn to_graph(&self) -> Graph {
+        let cap = self
+            .nodes()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut g = Graph::new(cap);
+        // kill IDs that are not tree nodes so that node sets agree
+        for i in 0..cap {
+            if !self.contains(NodeId(i as u32)) {
+                g.delete_node(NodeId(i as u32));
+            }
+        }
+        for (&c, &p) in &self.parent {
+            g.add_edge(c, p);
+        }
+        g
+    }
+
+    /// Internal consistency check: every node reaches the root via parent
+    /// pointers, children lists mirror parent pointers, and lists are sorted.
+    ///
+    /// # Panics
+    /// Panics on violation (used by constructors and tests).
+    pub fn validate(&self) {
+        assert!(self.contains(self.root), "root missing");
+        assert!(
+            !self.parent.contains_key(&self.root),
+            "root must not have a parent"
+        );
+        for (&c, &p) in &self.parent {
+            assert!(self.contains(p), "parent {p:?} of {c:?} not in tree");
+            assert!(
+                self.children[&p].binary_search(&c).is_ok(),
+                "children list of {p:?} misses {c:?}"
+            );
+        }
+        for (&p, list) in &self.children {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted children");
+            for &c in list {
+                assert_eq!(self.parent.get(&c), Some(&p), "parent mismatch for {c:?}");
+            }
+        }
+        // reachability: parent chains terminate at root without cycles
+        for v in self.nodes() {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(p) = self.parent.get(&cur) {
+                cur = *p;
+                steps += 1;
+                assert!(steps <= self.len(), "cycle in parent chain at {v:?}");
+            }
+            assert_eq!(cur, self.root, "{v:?} does not reach the root");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn from_parent_pairs_basic() {
+        let t = RootedTree::from_parent_pairs(n(0), &[(n(1), n(0)), (n(2), n(0)), (n(3), n(1))]);
+        assert_eq!(t.root(), n(0));
+        assert_eq!(t.children(n(0)), &[n(1), n(2)]);
+        assert_eq!(t.parent(n(3)), Some(n(1)));
+        assert!(t.is_leaf(n(3)));
+        assert!(!t.is_leaf(n(1)));
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.degree(n(1)), 2);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two parents")]
+    fn duplicate_parent_rejected() {
+        RootedTree::from_parent_pairs(n(0), &[(n(1), n(0)), (n(1), n(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle in parent chain")]
+    fn cycle_rejected() {
+        // 1 -> 2 -> 1 cycle disconnected from the root
+        RootedTree::from_parent_pairs(n(0), &[(n(1), n(2)), (n(2), n(1))]);
+    }
+
+    #[test]
+    fn from_tree_graph_roundtrip() {
+        let g = gen::kary_tree(15, 2);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.to_graph(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn from_tree_graph_rejects_cycles() {
+        let g = gen::cycle(4);
+        RootedTree::from_tree_graph(&g, n(0));
+    }
+
+    #[test]
+    fn bfs_spanning_tree_of_grid() {
+        let g = gen::grid(3, 3);
+        let t = RootedTree::bfs_spanning_tree(&g, n(0));
+        assert_eq!(t.len(), 9);
+        // BFS tree height equals eccentricity of the root
+        assert_eq!(t.height(), crate::bfs::eccentricity(&g, n(0)).unwrap());
+        // every tree edge is a graph edge
+        for v in t.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(g.has_edge(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn depths_of_path() {
+        let g = gen::path(5);
+        let t = RootedTree::from_tree_graph(&g, n(0));
+        let d = t.depths();
+        assert_eq!(d[&n(4)], 4);
+        assert_eq!(d[&n(0)], 0);
+    }
+
+    #[test]
+    fn spanning_trees_of_random_graphs_validate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let g = gen::gnp_connected(60, 0.05, &mut rng);
+            let t = RootedTree::bfs_spanning_tree(&g, n(0));
+            t.validate();
+            assert_eq!(t.len(), 60);
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = RootedTree::from_parent_pairs(n(7), &[]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 0);
+        assert!(t.is_leaf(n(7)));
+        assert_eq!(t.degree(n(7)), 0);
+        let g = t.to_graph();
+        assert_eq!(g.len(), 1);
+        assert!(g.is_alive(n(7)));
+    }
+}

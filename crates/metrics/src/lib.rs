@@ -1,0 +1,16 @@
+//! # ft-metrics — experiment harness
+//!
+//! Uniform machinery for every experiment in EXPERIMENTS.md: named
+//! workloads ([`workload`]), a trial runner that drives a
+//! healer–adversary pair while recording time series ([`runner`]), and
+//! plain-text/CSV table formatting ([`table`]).
+
+pub mod runner;
+pub mod stats;
+pub mod table;
+pub mod workload;
+
+pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
+pub use stats::{log_log_slope, Summary};
+pub use table::Table;
+pub use workload::Workload;

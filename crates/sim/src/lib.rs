@@ -1,0 +1,20 @@
+//! # ft-sim — synchronous message-passing network simulator
+//!
+//! Implements the paper's distributed model (Model 2.1): each node is a
+//! processor knowing only its own state; per time step the adversary may
+//! delete one node, neighbors of the deleted node are informed, and then the
+//! processors exchange messages and add/drop edges in synchronous rounds
+//! until the recovery phase quiesces.
+//!
+//! The simulator counts every message (globally, per node and per round) so
+//! that Theorem 1.3's O(1)-messages-per-node claim and the setup phase's
+//! costs can be measured rather than assumed.
+//!
+//! [`bfs`] contains the one-time setup protocol: a distributed BFS spanning
+//! tree construction with latency equal to the root's eccentricity (the
+//! stand-in for Cohen's algorithm cited by the paper).
+
+pub mod bfs;
+pub mod network;
+
+pub use network::{Ctx, Network, Process, RoundStats};

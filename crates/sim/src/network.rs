@@ -1,0 +1,432 @@
+//! The synchronous round engine.
+//!
+//! A [`Network`] owns one [`Process`] per live node plus the evolving
+//! topology [`Graph`]. Time advances in rounds: all messages sent in round
+//! `r` are delivered at the start of round `r+1`; edge insertions/removals
+//! requested in round `r` are applied at the end of round `r` (the paper
+//! allows nodes to "insert edges joining it to any other nodes as desired").
+//!
+//! Messages may be addressed to any node whose name the sender has learned
+//! (the model explicitly lets messages "contain the names of other
+//! vertices"); delivery to dead nodes is silently dropped, mirroring a
+//! crashed peer.
+
+use ft_graph::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// A node-local protocol endpoint.
+///
+/// Implementations must act only on their own state plus received events —
+/// the engine hands out no global information.
+pub trait Process {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once before the first round.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a (graph-)neighbor of this node has been deleted by the
+    /// adversary ("only the neighbors of the deleted vertex are informed").
+    fn on_neighbor_deleted(&mut self, _dead: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// Side-effect collector handed to process callbacks.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    round: u64,
+    outbox: &'a mut Vec<(NodeId, NodeId, M)>,
+    edge_adds: &'a mut Vec<(NodeId, NodeId)>,
+    edge_drops: &'a mut Vec<(NodeId, NodeId)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This node's ID.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` to `to` (delivered next round; dropped if `to` is dead).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((self.me, to, msg));
+    }
+
+    /// Requests insertion of the undirected edge `{me, to}`.
+    pub fn add_edge(&mut self, to: NodeId) {
+        self.edge_adds.push((self.me, to));
+    }
+
+    /// Requests removal of the undirected edge `{me, to}`.
+    pub fn drop_edge(&mut self, to: NodeId) {
+        self.edge_drops.push((self.me, to));
+    }
+}
+
+/// Per-round accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Messages delivered this round.
+    pub messages: usize,
+    /// Maximum messages any single node sent+received this round.
+    pub max_per_node: usize,
+    /// Edges inserted this round.
+    pub edges_added: usize,
+    /// Edges dropped this round.
+    pub edges_removed: usize,
+}
+
+/// The simulator: processes + topology + mailboxes + statistics.
+#[derive(Debug)]
+pub struct Network<P: Process> {
+    procs: BTreeMap<NodeId, P>,
+    graph: Graph,
+    mailbox: Vec<(NodeId, NodeId, P::Msg)>,
+    round: u64,
+    total_messages: usize,
+    per_node_messages: BTreeMap<NodeId, usize>,
+}
+
+impl<P: Process> Network<P> {
+    /// Builds a network over `graph`, creating one process per live node.
+    pub fn new(graph: Graph, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let procs: BTreeMap<NodeId, P> = graph.nodes().map(|v| (v, make(v))).collect();
+        Network {
+            procs,
+            graph,
+            mailbox: Vec::new(),
+            round: 0,
+            total_messages: 0,
+            per_node_messages: BTreeMap::new(),
+        }
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Read access to a node's process.
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn process(&self, v: NodeId) -> &P {
+        &self.procs[&v]
+    }
+
+    /// Mutable access to a node's process (initial field installation and
+    /// tests; protocols must not use this to cheat).
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn process_mut(&mut self, v: NodeId) -> &mut P {
+        self.procs.get_mut(&v).expect("process of dead node")
+    }
+
+    /// Live node IDs.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.procs.keys().copied()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when every node is dead.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total messages delivered since construction.
+    pub fn total_messages(&self) -> usize {
+        self.total_messages
+    }
+
+    /// Per-node total messages (sent + received).
+    pub fn per_node_messages(&self) -> &BTreeMap<NodeId, usize> {
+        &self.per_node_messages
+    }
+
+    /// Are messages waiting for delivery?
+    pub fn has_pending(&self) -> bool {
+        !self.mailbox.is_empty()
+    }
+
+    /// Runs `on_start` on every process and applies side effects (round 0).
+    pub fn start(&mut self) -> RoundStats {
+        let ids: Vec<NodeId> = self.procs.keys().copied().collect();
+        let mut outbox = Vec::new();
+        let mut adds = Vec::new();
+        let mut drops = Vec::new();
+        for v in ids {
+            let mut ctx = Ctx {
+                me: v,
+                round: self.round,
+                outbox: &mut outbox,
+                edge_adds: &mut adds,
+                edge_drops: &mut drops,
+            };
+            self.procs.get_mut(&v).expect("live").on_start(&mut ctx);
+        }
+        self.finish_round(outbox, adds, drops, 0)
+    }
+
+    /// Deletes `v` (the adversary's move): removes it from the topology,
+    /// discards its pending mail, and informs its surviving neighbors, whose
+    /// immediate reactions are queued for the next round.
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn delete_node(&mut self, v: NodeId) -> RoundStats {
+        assert!(self.procs.contains_key(&v), "{v:?} already dead");
+        let neighbors = self.graph.delete_node(v);
+        self.procs.remove(&v);
+        self.mailbox.retain(|(_, to, _)| *to != v);
+        let mut outbox = Vec::new();
+        let mut adds = Vec::new();
+        let mut drops = Vec::new();
+        let mut delivered = 0usize;
+        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for u in neighbors {
+            delivered += 1; // the deletion notice itself
+            *per_node.entry(u).or_insert(0) += 1;
+            let mut ctx = Ctx {
+                me: u,
+                round: self.round,
+                outbox: &mut outbox,
+                edge_adds: &mut adds,
+                edge_drops: &mut drops,
+            };
+            self.procs
+                .get_mut(&u)
+                .expect("surviving neighbor")
+                .on_neighbor_deleted(v, &mut ctx);
+        }
+        let mut stats = self.finish_round(outbox, adds, drops, delivered);
+        stats.max_per_node = stats
+            .max_per_node
+            .max(per_node.values().max().copied().unwrap_or(0));
+        stats
+    }
+
+    /// Delivers all queued messages (one synchronous round).
+    pub fn step(&mut self) -> RoundStats {
+        let mail = std::mem::take(&mut self.mailbox);
+        let mut outbox = Vec::new();
+        let mut adds = Vec::new();
+        let mut drops = Vec::new();
+        let mut delivered = 0usize;
+        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (from, to, msg) in mail {
+            let Some(proc_) = self.procs.get_mut(&to) else {
+                continue; // addressee died; message lost with it
+            };
+            delivered += 1;
+            *per_node.entry(from).or_insert(0) += 1;
+            *per_node.entry(to).or_insert(0) += 1;
+            let mut ctx = Ctx {
+                me: to,
+                round: self.round,
+                outbox: &mut outbox,
+                edge_adds: &mut adds,
+                edge_drops: &mut drops,
+            };
+            proc_.on_message(from, msg, &mut ctx);
+        }
+        let mut stats = self.finish_round(outbox, adds, drops, delivered);
+        stats.max_per_node = per_node.values().max().copied().unwrap_or(0);
+        stats
+    }
+
+    /// Steps until no messages are pending; returns the number of rounds
+    /// (the recovery latency) and the merged statistics.
+    ///
+    /// # Panics
+    /// Panics if quiescence is not reached within `max_rounds` (a protocol
+    /// that chatters forever is a bug).
+    pub fn run_until_quiet(&mut self, max_rounds: u32) -> (u32, RoundStats) {
+        let mut rounds = 0;
+        let mut merged = RoundStats::default();
+        while self.has_pending() {
+            assert!(
+                rounds < max_rounds,
+                "protocol did not quiesce within {max_rounds} rounds"
+            );
+            let s = self.step();
+            rounds += 1;
+            merged.messages += s.messages;
+            merged.max_per_node = merged.max_per_node.max(s.max_per_node);
+            merged.edges_added += s.edges_added;
+            merged.edges_removed += s.edges_removed;
+        }
+        (rounds, merged)
+    }
+
+    fn finish_round(
+        &mut self,
+        outbox: Vec<(NodeId, NodeId, P::Msg)>,
+        adds: Vec<(NodeId, NodeId)>,
+        drops: Vec<(NodeId, NodeId)>,
+        delivered: usize,
+    ) -> RoundStats {
+        let mut stats = RoundStats {
+            messages: delivered,
+            ..RoundStats::default()
+        };
+        self.total_messages += delivered;
+        for (from, to, _) in &outbox {
+            *self.per_node_messages.entry(*from).or_insert(0) += 1;
+            *self.per_node_messages.entry(*to).or_insert(0) += 1;
+        }
+        self.mailbox.extend(outbox);
+        for (a, b) in adds {
+            if a != b && self.graph.is_alive(a) && self.graph.is_alive(b) && !self.graph.has_edge(a, b)
+            {
+                self.graph.add_edge(a, b);
+                stats.edges_added += 1;
+            }
+        }
+        for (a, b) in drops {
+            if self.graph.remove_edge(a, b) {
+                stats.edges_removed += 1;
+            }
+        }
+        self.round += 1;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen;
+
+    /// Simple flood protocol: on start the initiator floods a token; each
+    /// node forwards it to all neighbors once.
+    #[derive(Debug)]
+    struct Flood {
+        initiator: bool,
+        neighbors: Vec<NodeId>,
+        seen: bool,
+    }
+
+    impl Process for Flood {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if self.initiator {
+                self.seen = true;
+                for &u in &self.neighbors {
+                    ctx.send(u, ());
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: (), ctx: &mut Ctx<'_, ()>) {
+            if !self.seen {
+                self.seen = true;
+                for &u in &self.neighbors {
+                    ctx.send(u, ());
+                }
+            }
+        }
+    }
+
+    fn flood_net(g: ft_graph::Graph, init: NodeId) -> Network<Flood> {
+        let neighbors: BTreeMap<NodeId, Vec<NodeId>> =
+            g.nodes().map(|v| (v, g.neighbors(v).collect())).collect();
+        Network::new(g, |v| Flood {
+            initiator: v == init,
+            neighbors: neighbors[&v].clone(),
+            seen: false,
+        })
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_ecc_rounds() {
+        let g = gen::path(6);
+        let mut net = flood_net(g, NodeId(0));
+        net.start();
+        let (rounds, stats) = net.run_until_quiet(100);
+        assert_eq!(rounds, 6, "5 hops + 1 final echo round");
+        assert!(stats.messages > 0);
+        for v in net.nodes().collect::<Vec<_>>() {
+            assert!(net.process(v).seen, "{v:?} not reached");
+        }
+    }
+
+    #[test]
+    fn messages_to_dead_nodes_are_dropped() {
+        let g = gen::path(3);
+        let mut net = flood_net(g, NodeId(0));
+        net.start();
+        net.delete_node(NodeId(1)); // the flood's only path
+        let (_, _) = net.run_until_quiet(10);
+        assert!(!net.process(NodeId(2)).seen, "message crossed a dead node");
+    }
+
+    #[test]
+    fn edge_requests_are_applied_and_deduped() {
+        #[derive(Debug)]
+        struct Linker(NodeId);
+        impl Process for Linker {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.add_edge(self.0); // both sides request the same edge
+            }
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+        }
+        let g = ft_graph::Graph::new(2);
+        let mut net = Network::new(g, |v| Linker(NodeId(1 - v.0)));
+        let stats = net.start();
+        assert_eq!(stats.edges_added, 1, "duplicate request deduped");
+        assert!(net.graph().has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn deletion_notifies_only_neighbors() {
+        #[derive(Debug, Default)]
+        struct Obs {
+            notices: usize,
+        }
+        impl Process for Obs {
+            type Msg = ();
+            fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_neighbor_deleted(&mut self, _: NodeId, _: &mut Ctx<'_, ()>) {
+                self.notices += 1;
+            }
+        }
+        let g = gen::star(4); // 0 is hub
+        let mut net = Network::new(g, |_| Obs::default());
+        net.delete_node(NodeId(1));
+        assert_eq!(net.process(NodeId(0)).notices, 1, "hub saw it");
+        assert_eq!(net.process(NodeId(2)).notices, 0, "leaf 2 did not");
+        net.delete_node(NodeId(0));
+        for v in [2u32, 3] {
+            assert_eq!(net.process(NodeId(v)).notices, 1, "leaf {v} saw hub die");
+        }
+    }
+
+    #[test]
+    fn run_until_quiet_counts_rounds() {
+        let g = gen::cycle(8);
+        let mut net = flood_net(g, NodeId(0));
+        net.start();
+        let (rounds, _) = net.run_until_quiet(50);
+        // ecc of a node in C8 is 4; one extra echo round
+        assert_eq!(rounds, 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Adversary tournament: every deletion strategy attacks the Forgiving
+//! Tree on every workload; the guarantees must survive them all.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_duel
+//! ```
+
+use forgiving_tree::metrics::{run_trial, TrialConfig};
+use forgiving_tree::prelude::*;
+
+fn main() {
+    let mut table = Table::new(
+        "adversarial duel: Forgiving Tree vs every strategy (n≈128, full deletion)",
+        &["workload", "adversary", "stretch", "deg inc", "worst node msgs", "ok"],
+    );
+    for w in Workload::suite(128) {
+        for adv in forgiving_tree::adversary::standard_suite(99).iter_mut() {
+            let mut healer = ForgivingHealer::new(&w.tree());
+            let cfg = TrialConfig {
+                workload: w.name(),
+                delete_fraction: 1.0,
+                measure_every: 4,
+            };
+            let t = run_trial(&cfg, &mut healer, adv.as_mut());
+            let ok = t.summary.max_degree_increase <= 3 && t.summary.stayed_connected;
+            table.push(vec![
+                t.summary.workload.clone(),
+                t.summary.adversary.clone(),
+                format!("{:.2}", t.summary.max_stretch),
+                format!("+{}", t.summary.max_degree_increase),
+                t.summary.worst_node_messages.to_string(),
+                ok.to_string(),
+            ]);
+            assert!(ok, "guarantee broken: {}", t.summary);
+        }
+    }
+    table.print();
+    println!("\nno adversary breaks the +3 degree bound or disconnects the network");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: arm a Forgiving Tree, let an adversary hammer it, and watch
+//! the guarantees hold.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use forgiving_tree::prelude::*;
+
+fn main() {
+    // A complete 4-ary tree of 341 peers; node 0 is the root.
+    let graph = gen::kary_tree(341, 4);
+    let tree = RootedTree::from_tree_graph(&graph, NodeId(0));
+    println!(
+        "network: n={}, Δ={}, diameter={}",
+        graph.len(),
+        graph.max_degree(),
+        forgiving_tree::graph::bfs::diameter_exact(&graph).expect("connected")
+    );
+
+    let mut ft = ForgivingTree::new(&tree);
+    println!("diameter budget (Theorem 1.2): {}", ft.diameter_bound());
+
+    // The omniscient adversary deletes the current max-degree node, every
+    // round, until half the network is gone.
+    let mut deleted = 0;
+    while deleted < 170 {
+        let victim = ft
+            .nodes()
+            .max_by_key(|&v| ft.graph().degree(v))
+            .expect("nodes remain");
+        let report = ft.delete(victim);
+        deleted += 1;
+        if deleted % 34 == 0 {
+            let d = forgiving_tree::graph::bfs::diameter_exact(ft.graph()).expect("connected");
+            println!(
+                "after {deleted:3} deletions: alive={}, diameter={d}, max deg inc=+{}, last heal: {} msgs ({} max/node)",
+                ft.len(),
+                ft.max_degree_increase(),
+                report.total_messages,
+                report.max_messages_per_node
+            );
+        }
+    }
+
+    // The paper's guarantees, checked live:
+    assert!(ft.graph().is_connected(), "never disconnects");
+    assert!(ft.max_degree_increase() <= 3, "Theorem 1.1");
+    let d = forgiving_tree::graph::bfs::diameter_exact(ft.graph()).expect("connected");
+    assert!(d <= ft.diameter_bound(), "Theorem 1.2");
+    ft.validate(); // full internal invariant audit
+    println!("\nall invariants hold after {deleted} adversarial deletions ✔");
+}

@@ -1,0 +1,209 @@
+//! `ftree` — command-line driver for the Forgiving Tree reproduction.
+//!
+//! ```text
+//! ftree attack  --workload kary4:256 --adversary heir-hunter \
+//!               --healer forgiving-tree --fraction 0.75 [--dot] [--csv]
+//! ftree scaling --healer line --adversary diameter-greedy
+//! ftree duel    --workload star:128
+//! ftree help
+//! ```
+//!
+//! Workload syntax: `path:N`, `star:N`, `kary<K>:N`, `caterpillar:SxL`,
+//! `broom:H+B`, `random:N#SEED`, `pref:N#SEED`.
+
+use forgiving_tree::metrics::{log_log_slope, run_trial, Table, TrialConfig, Workload};
+use forgiving_tree::prelude::*;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ftree attack  --workload W --adversary A --healer H [--fraction F] [--dot] [--csv]\n  \
+         ftree scaling --healer H --adversary A\n  \
+         ftree duel    --workload W\n\n\
+         workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
+         adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
+         healers   : forgiving-tree surrogate line binary-tree no-heal"
+    );
+    exit(2);
+}
+
+fn parse_workload(spec: &str) -> Workload {
+    let bad = || -> ! {
+        eprintln!("unrecognized workload: {spec}");
+        usage()
+    };
+    let (kind, rest) = spec.split_once(':').unwrap_or_else(|| bad());
+    let num = |s: &str| s.parse::<usize>().unwrap_or_else(|_| bad());
+    match kind {
+        "path" => Workload::Path(num(rest)),
+        "star" => Workload::Star(num(rest)),
+        k if k.starts_with("kary") => Workload::Kary(num(rest), num(&k[4..])),
+        "caterpillar" => {
+            let (s, l) = rest.split_once('x').unwrap_or_else(|| bad());
+            Workload::Caterpillar(num(s), num(l))
+        }
+        "broom" => {
+            let (h, b) = rest.split_once('+').unwrap_or_else(|| bad());
+            Workload::Broom(num(h), num(b))
+        }
+        "random" => {
+            let (n, s) = rest.split_once('#').unwrap_or((rest, "1"));
+            Workload::RandomTree(num(n), num(s) as u64)
+        }
+        "pref" => {
+            let (n, s) = rest.split_once('#').unwrap_or((rest, "1"));
+            Workload::PrefTree(num(n), num(s) as u64)
+        }
+        _ => bad(),
+    }
+}
+
+fn make_adversary(name: &str, seed: u64) -> Box<dyn Adversary> {
+    match name {
+        "random" => Box::new(RandomAdversary::new(seed)),
+        "max-degree" => Box::new(HighestDegreeAdversary),
+        "min-degree" => Box::new(LowestDegreeAdversary),
+        "root-attack" => Box::new(RootAdversary),
+        "heir-hunter" => Box::new(HeirHunter),
+        "hub-siphon" => Box::new(HubSiphon),
+        "diameter-greedy" => Box::new(DiameterGreedy::default()),
+        _ => {
+            eprintln!("unknown adversary: {name}");
+            usage()
+        }
+    }
+}
+
+fn make_healer(name: &str, w: &Workload) -> Box<dyn SelfHealer> {
+    match name {
+        "forgiving-tree" => Box::new(ForgivingHealer::new(&w.tree())),
+        "surrogate" => Box::new(SurrogateHealer::new(w.graph())),
+        "line" => Box::new(LineHealer::new(w.graph())),
+        "binary-tree" => Box::new(BinaryTreeHealer::new(w.graph())),
+        "no-heal" => Box::new(NoHeal::new(w.graph())),
+        _ => {
+            eprintln!("unknown healer: {name}");
+            usage()
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_attack(args: &[String]) {
+    let w = parse_workload(flag_value(args, "--workload").unwrap_or("kary4:256"));
+    let adv_name = flag_value(args, "--adversary").unwrap_or("max-degree");
+    let healer_name = flag_value(args, "--healer").unwrap_or("forgiving-tree");
+    let fraction: f64 = flag_value(args, "--fraction")
+        .unwrap_or("1.0")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let mut adv = make_adversary(adv_name, 42);
+    let mut healer = make_healer(healer_name, &w);
+    let cfg = TrialConfig {
+        workload: w.name(),
+        delete_fraction: fraction,
+        measure_every: (w.graph().len() / 32).max(1),
+    };
+    let trial = run_trial(&cfg, healer.as_mut(), adv.as_mut());
+    if args.iter().any(|a| a == "--csv") {
+        let mut t = Table::new("series", &["deletions", "alive", "diameter", "deg_inc"]);
+        for s in trial.steps.iter().filter(|s| s.diameter.is_some()) {
+            t.push(vec![
+                s.deletions.to_string(),
+                s.alive.to_string(),
+                s.diameter.map(|d| d.to_string()).unwrap_or_default(),
+                s.max_degree_increase.to_string(),
+            ]);
+        }
+        print!("{}", t.to_csv());
+    }
+    println!("{}", trial.summary);
+    println!(
+        "  D0={} Δ0={} | max diameter {} (stretch {:.2}) | max degree +{} | worst heal: {} msgs, {} per node | connected: {}",
+        trial.summary.diam0,
+        trial.summary.delta0,
+        trial.summary.max_diameter,
+        trial.summary.max_stretch,
+        trial.summary.max_degree_increase,
+        trial.summary.worst_heal_messages,
+        trial.summary.worst_node_messages,
+        trial.summary.stayed_connected,
+    );
+    if args.iter().any(|a| a == "--dot") {
+        println!("{}", healer.graph().to_dot("healed"));
+    }
+}
+
+fn cmd_scaling(args: &[String]) {
+    let healer_name = flag_value(args, "--healer").unwrap_or("forgiving-tree");
+    let adv_name = flag_value(args, "--adversary").unwrap_or("max-degree");
+    let mut deg_points = Vec::new();
+    let mut diam_points = Vec::new();
+    for n in [32usize, 64, 128, 256] {
+        let w = Workload::Star(n);
+        let mut adv = make_adversary(adv_name, 7);
+        let mut healer = make_healer(healer_name, &w);
+        let cfg = TrialConfig {
+            workload: w.name(),
+            delete_fraction: 0.5,
+            measure_every: 4,
+        };
+        let t = run_trial(&cfg, healer.as_mut(), adv.as_mut());
+        deg_points.push((n as f64, (t.summary.max_degree_increase.max(1)) as f64));
+        diam_points.push((n as f64, t.summary.max_diameter.max(1) as f64));
+        println!(
+            "n={n:>4}: max degree +{}, max diameter {}",
+            t.summary.max_degree_increase, t.summary.max_diameter
+        );
+    }
+    println!(
+        "growth exponents on stars (log-log slope): degree {:.2}, diameter {:.2}",
+        log_log_slope(&deg_points),
+        log_log_slope(&diam_points)
+    );
+    println!("(≈1 means Θ(n) blow-up; ≈0 means bounded/logarithmic — the paper's contrast)");
+}
+
+fn cmd_duel(args: &[String]) {
+    let w = parse_workload(flag_value(args, "--workload").unwrap_or("star:128"));
+    let mut table = Table::new(
+        format!("duel on {}", w.name()),
+        &["healer", "adversary", "deg inc", "stretch", "connected"],
+    );
+    for healer_name in ["forgiving-tree", "surrogate", "line", "binary-tree"] {
+        for adv_name in ["random", "max-degree", "hub-siphon", "diameter-greedy"] {
+            let mut adv = make_adversary(adv_name, 3);
+            let mut healer = make_healer(healer_name, &w);
+            let cfg = TrialConfig {
+                workload: w.name(),
+                delete_fraction: 0.75,
+                measure_every: (w.graph().len() / 16).max(1),
+            };
+            let t = run_trial(&cfg, healer.as_mut(), adv.as_mut());
+            table.push(vec![
+                healer_name.into(),
+                adv_name.into(),
+                format!("+{}", t.summary.max_degree_increase),
+                format!("{:.2}", t.summary.max_stretch),
+                t.summary.stayed_connected.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("attack") => cmd_attack(&args[1..]),
+        Some("scaling") => cmd_scaling(&args[1..]),
+        Some("duel") => cmd_duel(&args[1..]),
+        _ => usage(),
+    }
+}

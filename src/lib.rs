@@ -1,0 +1,69 @@
+//! # forgiving-tree
+//!
+//! A production-quality Rust reproduction of
+//! *"The Forgiving Tree: A Self-Healing Distributed Data Structure"*
+//! (Hayes, Rustagi, Saia, Trehan; PODC 2008, arXiv:0802.3267).
+//!
+//! The Forgiving Tree maintains a network under repeated adversarial node
+//! deletions: after each deletion, the dead node's neighbors execute a
+//! pre-distributed *will* and add O(1) edges, guaranteeing forever that
+//!
+//! 1. no node's degree grows by more than **3** (Theorem 1.1),
+//! 2. the diameter stays **O(D·log Δ)** (Theorem 1.2), and
+//! 3. every heal costs **O(1)** rounds and O(1) messages per node
+//!    (Theorem 1.3),
+//!
+//! which is asymptotically optimal (Theorem 2: `α^(2β+1) ≥ Δ`).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] (`ft-core`) | the data structure: spec engine + distributed protocol |
+//! | [`graph`] (`ft-graph`) | graphs, BFS/diameter, rooted trees, generators |
+//! | [`sim`] (`ft-sim`) | synchronous message-passing simulator + BFS setup |
+//! | [`baselines`] (`ft-baselines`) | surrogate/line/binary-tree healers + `SelfHealer` |
+//! | [`adversary`] (`ft-adversary`) | omniscient deletion strategies |
+//! | [`metrics`] (`ft-metrics`) | experiment runner, workloads, tables |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use forgiving_tree::prelude::*;
+//!
+//! // build a 4-ary tree of 85 peers and arm the data structure
+//! let graph = gen::kary_tree(85, 4);
+//! let tree = RootedTree::from_tree_graph(&graph, NodeId(0));
+//! let mut ft = ForgivingTree::new(&tree);
+//!
+//! // the adversary deletes the root and an internal node
+//! ft.delete(NodeId(0));
+//! ft.delete(NodeId(2));
+//!
+//! assert!(ft.graph().is_connected());
+//! assert!(ft.max_degree_increase() <= 3);
+//! ```
+
+pub use ft_adversary as adversary;
+pub use ft_baselines as baselines;
+pub use ft_core as core;
+pub use ft_graph as graph;
+pub use ft_metrics as metrics;
+pub use ft_sim as sim;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use ft_adversary::{
+        Adversary, AdversaryView, DiameterGreedy, HeirHunter, HighestDegreeAdversary, HubSiphon,
+        LowestDegreeAdversary, RandomAdversary, RootAdversary,
+    };
+    pub use ft_baselines::{
+        BinaryTreeHealer, ForgivingHealer, LineHealer, NoHeal, SelfHealer, SurrogateHealer,
+    };
+    pub use ft_core::distributed::DistributedForgivingTree;
+    pub use ft_core::{ForgivingTree, HealReport, HealStats, RoleKind};
+    pub use ft_graph::tree::RootedTree;
+    pub use ft_graph::{gen, Graph, NodeId};
+    pub use ft_metrics::{run_trial, Table, Trial, TrialConfig, Workload};
+    pub use ft_sim::bfs::distributed_bfs_tree;
+}

@@ -1,0 +1,74 @@
+//! Property-level integration tests pinning the theorem bounds under
+//! randomized workloads (heavier than the per-crate unit tests).
+
+use forgiving_tree::graph::bfs::diameter_exact;
+use forgiving_tree::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorems 1.1 + 1.2 on random trees with random deletion orders,
+    /// verified after every deletion.
+    #[test]
+    fn theorems_hold_on_random_trees(nn in 8usize..64, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(nn, &mut rng);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        let mut ft = ForgivingTree::new(&tree);
+        let bound = ft.diameter_bound();
+        let mut order: Vec<NodeId> = tree.nodes().collect();
+        order.shuffle(&mut rng);
+        for v in order {
+            ft.delete(v);
+            prop_assert!(ft.max_degree_increase() <= 3);
+            if ft.len() > 1 {
+                let d = diameter_exact(ft.graph()).expect("connected");
+                prop_assert!(d <= bound, "diameter {} > {}", d, bound);
+            }
+        }
+    }
+
+    /// Theorem 1.3: per-node messages stay below a constant on power-law
+    /// trees (high-degree hubs), for both engines.
+    #[test]
+    fn message_bound_on_pref_trees(nn in 10usize..48, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_attachment_tree(nn, &mut rng);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        let mut spec = ForgivingTree::new(&tree);
+        let mut dist = DistributedForgivingTree::new(&tree);
+        let mut order: Vec<NodeId> = tree.nodes().collect();
+        order.shuffle(&mut rng);
+        for v in order {
+            let sr = spec.delete(v);
+            let dr = dist.delete(v);
+            prop_assert!(sr.max_messages_per_node <= 24, "spec: {}", sr.max_messages_per_node);
+            prop_assert!(dr.max_messages_per_node <= 40, "dist: {}", dr.max_messages_per_node);
+            prop_assert!(dr.rounds <= 8);
+            prop_assert_eq!(spec.graph(), dist.graph());
+        }
+    }
+
+    /// Ablation configurations preserve every safety invariant (they only
+    /// trade the diameter constant).
+    #[test]
+    fn ablation_configs_stay_safe(nn in 6usize..32, seed in 0u64..200,
+                                  balanced in proptest::bool::ANY,
+                                  heir_min in proptest::bool::ANY) {
+        use forgiving_tree::core::shape::ShapeConfig;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(nn, &mut rng);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+        let mut ft = ForgivingTree::with_config(&tree, ShapeConfig { balanced, heir_min });
+        let mut order: Vec<NodeId> = tree.nodes().collect();
+        order.shuffle(&mut rng);
+        for v in order {
+            ft.delete(v);
+            ft.validate();
+        }
+    }
+}
