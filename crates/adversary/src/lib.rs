@@ -99,7 +99,9 @@ impl Adversary for LowestDegreeAdversary {
     }
 
     fn next_target(&mut self, view: AdversaryView<'_>) -> Option<NodeId> {
-        view.graph.nodes().min_by_key(|&v| (view.graph.degree(v), v))
+        view.graph
+            .nodes()
+            .min_by_key(|&v| (view.graph.degree(v), v))
     }
 }
 

@@ -48,10 +48,34 @@ fn main() {
         ],
     );
     let configs = [
-        ("balanced+maxheir (paper)", ShapeConfig { balanced: true, heir_min: false }),
-        ("balanced+minheir", ShapeConfig { balanced: true, heir_min: true }),
-        ("path+maxheir", ShapeConfig { balanced: false, heir_min: false }),
-        ("path+minheir", ShapeConfig { balanced: false, heir_min: true }),
+        (
+            "balanced+maxheir (paper)",
+            ShapeConfig {
+                balanced: true,
+                heir_min: false,
+            },
+        ),
+        (
+            "balanced+minheir",
+            ShapeConfig {
+                balanced: true,
+                heir_min: true,
+            },
+        ),
+        (
+            "path+maxheir",
+            ShapeConfig {
+                balanced: false,
+                heir_min: false,
+            },
+        ),
+        (
+            "path+minheir",
+            ShapeConfig {
+                balanced: false,
+                heir_min: true,
+            },
+        ),
     ];
     for w in [
         Workload::Star(256),

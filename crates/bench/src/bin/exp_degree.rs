@@ -9,7 +9,14 @@ use ft_metrics::{Table, Workload};
 fn main() {
     let mut table = Table::new(
         "E1 / Theorem 1.1 — max degree increase (paper bound: 3)",
-        &["workload", "n", "Δ0", "adversary", "max deg increase", "bound ok"],
+        &[
+            "workload",
+            "n",
+            "Δ0",
+            "adversary",
+            "max deg increase",
+            "bound ok",
+        ],
     );
     for n in [64usize, 256, 1024] {
         for w in Workload::suite(n) {

@@ -61,11 +61,11 @@ fn figure2() {
 fn figure5() {
     println!("== E8 / Figure 5 — four-turn healing walkthrough ==");
     let mut pairs: Vec<(NodeId, NodeId)> = vec![
-        (n(1), n(0)),  // p under r
-        (n(2), n(1)),  // v under p
-        (n(3), n(1)),  // i under p
-        (n(4), n(1)),  // j under p
-        (n(5), n(1)),  // k under p
+        (n(1), n(0)), // p under r
+        (n(2), n(1)), // v under p
+        (n(3), n(1)), // i under p
+        (n(4), n(1)), // j under p
+        (n(5), n(1)), // k under p
     ];
     for c in 10..=17 {
         pairs.push((n(c), n(2))); // a..h under v
@@ -90,7 +90,10 @@ fn figure5() {
 
     // Turn 2: adversary deletes p. "h takes over the helper role of v in
     // RT(p). k is p's heir and connects to both h and parent(p)."
-    assert_eq!(ft.heir_of(n(1)), Some(n(17)).filter(|_| false).or(ft.heir_of(n(1))));
+    assert_eq!(
+        ft.heir_of(n(1)),
+        Some(n(17)).filter(|_| false).or(ft.heir_of(n(1)))
+    );
     ft.delete(n(1));
     dft.delete(n(1));
     ft.validate();
@@ -115,11 +118,18 @@ fn figure5() {
     dft.delete(n(17));
     ft.validate();
     assert_eq!(ft.graph(), dft.graph(), "turn 4 engines agree");
-    assert_ne!(ft.role_kind(n(22)), RoleKind::Wait, "o inherited h's duties");
+    assert_ne!(
+        ft.role_kind(n(22)),
+        RoleKind::Wait,
+        "o inherited h's duties"
+    );
     println!("turn 4 ok: o(22) took over h's helper role");
     assert!(ft.graph().is_connected());
     assert!(ft.max_degree_increase() <= 3);
-    println!("final healed network (DOT):\n{}", ft.graph().to_dot("figure5"));
+    println!(
+        "final healed network (DOT):\n{}",
+        ft.graph().to_dot("figure5")
+    );
 }
 
 fn main() {

@@ -32,8 +32,14 @@ fn main() {
             "gnp n=512 p=8/n".into(),
             gen::gnp_connected(512, 8.0 / 512.0, &mut rng),
         ),
-        ("ba n=512 m=3".into(), gen::barabasi_albert(512, 3, &mut rng)),
-        ("random-regular d=4".into(), gen::random_regular(512, 4, &mut rng)),
+        (
+            "ba n=512 m=3".into(),
+            gen::barabasi_albert(512, 3, &mut rng),
+        ),
+        (
+            "random-regular d=4".into(),
+            gen::random_regular(512, 4, &mut rng),
+        ),
     ];
     for (name, g) in cases {
         let ecc = eccentricity(&g, NodeId(0)).expect("connected");
@@ -41,11 +47,7 @@ fn main() {
         // will distribution: each node sends one portion per child => one
         // message per tree edge, plus one LeafWill per leaf
         let tree_edges = out.tree.len() - 1;
-        let leaves = out
-            .tree
-            .nodes()
-            .filter(|&v| out.tree.is_leaf(v))
-            .count();
+        let leaves = out.tree.nodes().filter(|&v| out.tree.is_leaf(v)).count();
         let will_msgs = tree_edges + leaves;
         table.push(vec![
             name,

@@ -37,7 +37,9 @@ fn main() {
         println!("{}", table.to_csv());
         println!(
             "# summary: max diameter {} (stretch {:.2}), max degree +{}",
-            trial.summary.max_diameter, trial.summary.max_stretch, trial.summary.max_degree_increase
+            trial.summary.max_diameter,
+            trial.summary.max_stretch,
+            trial.summary.max_degree_increase
         );
     }
 }

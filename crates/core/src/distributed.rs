@@ -607,8 +607,7 @@ impl FtNode {
         if let Some(i) = role.pending_slots.iter().position(|s| *s == slot) {
             role.pending_slots.remove(i);
             role.hchildren.push(child);
-        } else if let Some(e) =
-            replacing.and_then(|r| role.hchildren.iter_mut().find(|c| **c == r))
+        } else if let Some(e) = replacing.and_then(|r| role.hchildren.iter_mut().find(|c| **c == r))
         {
             *e = child;
         } else if !role.hchildren.contains(&child) {
@@ -952,11 +951,7 @@ impl Process for FtNode {
             } => {
                 if your_end.helper {
                     if let Some(role) = &mut self.role {
-                        if let Some(e) = role
-                            .hchildren
-                            .iter_mut()
-                            .find(|c| c.sim == dead)
-                        {
+                        if let Some(e) = role.hchildren.iter_mut().find(|c| c.sim == dead) {
                             *e = VRef::helper(new_rep);
                         }
                     }

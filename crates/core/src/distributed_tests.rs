@@ -23,11 +23,7 @@ fn n(i: u32) -> NodeId {
 fn differential_run(tree: &RootedTree, order: &[NodeId]) {
     let mut spec = ForgivingTree::new(tree);
     let mut dist = DistributedForgivingTree::new(tree);
-    assert_eq!(
-        spec.graph(),
-        dist.graph(),
-        "initial graphs differ"
-    );
+    assert_eq!(spec.graph(), dist.graph(), "initial graphs differ");
     for (step, &v) in order.iter().enumerate() {
         let sr = spec.delete(v);
         let dr = dist.delete(v);

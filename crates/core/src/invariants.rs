@@ -113,10 +113,7 @@ impl ForgivingTree {
     fn validate_wills(&self) {
         for (&v, info) in &self.info {
             match &info.will {
-                None => assert!(
-                    info.slots.is_empty(),
-                    "{v:?} has slots but no will"
-                ),
+                None => assert!(info.slots.is_empty(), "{v:?} has slots but no will"),
                 Some(will) => {
                     will.validate();
                     assert!(!info.slots.is_empty(), "{v:?} has a will but no slots");
@@ -166,8 +163,7 @@ impl ForgivingTree {
         for (&v, info) in &self.info {
             if let Some(p) = self.arena.node(info.pos).parent {
                 if let VKind::Real(pid) = self.arena.node(p).kind {
-                    let is_original_child =
-                        self.info[&pid].slots.get(&v) == Some(&info.pos);
+                    let is_original_child = self.info[&pid].slots.get(&v) == Some(&info.pos);
                     if is_original_child && info.slots.is_empty() {
                         assert!(
                             info.role.is_none(),

@@ -42,7 +42,11 @@ enum ShapeKind {
     /// A child slot; `rep` is the real node currently representing it.
     Leaf { rep: NodeId },
     /// A helper position simulated (once instantiated) by `sim`.
-    Internal { sim: NodeId, left: SIdx, right: SIdx },
+    Internal {
+        sim: NodeId,
+        left: SIdx,
+        right: SIdx,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -180,7 +184,13 @@ impl SubRtShape {
     /// of a split is the maximum of the left part (max-ID heirs) or the
     /// minimum of the right part (min-ID heirs), keeping BST order while
     /// exempting the heir from helper duty.
-    fn build_range(&mut self, children: &[NodeId], lo: usize, hi: usize, config: ShapeConfig) -> SIdx {
+    fn build_range(
+        &mut self,
+        children: &[NodeId],
+        lo: usize,
+        hi: usize,
+        config: ShapeConfig,
+    ) -> SIdx {
         debug_assert!(lo < hi);
         if hi - lo == 1 {
             let rep = children[lo];
@@ -443,8 +453,7 @@ impl SubRtShape {
             } else {
                 let old = self.helper_of.remove(&survivor);
                 debug_assert_eq!(old, Some(spliced));
-                let ShapeKind::Internal { sim, left, right } =
-                    &mut self.node_mut(dead_helper).kind
+                let ShapeKind::Internal { sim, left, right } = &mut self.node_mut(dead_helper).kind
                 else {
                     unreachable!()
                 };
@@ -685,10 +694,13 @@ mod tests {
         // shape: root h2 {h1 {l1, l2}, h3 {l3, l4}}
         assert_eq!(s.root_sim(), Some(n(2)));
         let p3 = s.portion(n(3));
-        assert_eq!(p3.next_parent, Some(PortionRef::Helper(n(3))).map(|_| {
-            // 3's helper h3 is l3's parent: skip to h3's parent = root h2
-            PortionRef::Helper(n(2))
-        }));
+        assert_eq!(
+            p3.next_parent,
+            Some(PortionRef::Helper(n(3))).map(|_| {
+                // 3's helper h3 is l3's parent: skip to h3's parent = root h2
+                PortionRef::Helper(n(2))
+            })
+        );
         assert_eq!(p3.next_hparent, Some(Some(PortionRef::Helper(n(2)))));
         assert_eq!(
             p3.next_hchildren,
@@ -901,10 +913,22 @@ mod config_tests {
     #[test]
     fn incremental_ops_work_on_all_configs() {
         let configs = [
-            ShapeConfig { balanced: true, heir_min: false },
-            ShapeConfig { balanced: true, heir_min: true },
-            ShapeConfig { balanced: false, heir_min: false },
-            ShapeConfig { balanced: false, heir_min: true },
+            ShapeConfig {
+                balanced: true,
+                heir_min: false,
+            },
+            ShapeConfig {
+                balanced: true,
+                heir_min: true,
+            },
+            ShapeConfig {
+                balanced: false,
+                heir_min: false,
+            },
+            ShapeConfig {
+                balanced: false,
+                heir_min: true,
+            },
         ];
         for cfg in configs {
             let children: Vec<NodeId> = (0..9u32).map(n).collect();

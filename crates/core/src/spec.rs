@@ -595,7 +595,11 @@ impl ForgivingTree {
             VKind::Helper { sim, ready } if sim == v => {
                 // v's virtual parent is v's own helper: both vanish together
                 // (MakeLeafWill's special case, Alg 3.7 lines 2-4).
-                assert_eq!(role, Some(p_vid), "helper above v simulated by v is v's role");
+                assert_eq!(
+                    role,
+                    Some(p_vid),
+                    "helper above v simulated by v is v's role"
+                );
                 self.vunlink(p_vid, x, led, v);
                 self.arena.release(x);
                 let others: Vec<VId> = self.arena.node(p_vid).children.clone();
@@ -664,7 +668,10 @@ impl ForgivingTree {
                 // General helper-parent case: P drops to one child, is
                 // short-circuited, and q inherits v's helper duties from the
                 // LeafWill (Alg 3.4 lines 7-16).
-                assert!(!ready, "a ready vnode's only child is its simulator's position");
+                assert!(
+                    !ready,
+                    "a ready vnode's only child is its simulator's position"
+                );
                 self.vunlink(p_vid, x, led, v);
                 self.arena.release(x);
                 let y = {
@@ -709,8 +716,7 @@ impl ForgivingTree {
                         if let Some(hp) = self.arena.node(hv).parent {
                             if let VKind::Real(w) = self.arena.node(hp).kind {
                                 let winfo = self.info.get_mut(&w).expect("owner alive");
-                                let old =
-                                    winfo.slots.remove(&v).expect("v was a rep of its owner");
+                                let old = winfo.slots.remove(&v).expect("v was a rep of its owner");
                                 assert_eq!(old, hv);
                                 winfo.slots.insert(q, hv);
                                 let delta = winfo

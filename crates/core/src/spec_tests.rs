@@ -310,7 +310,10 @@ fn report_counts_are_consistent() {
     let r = ft.delete(n(1));
     // every added edge is present in the healed graph
     for (a, b) in &r.edges_added {
-        assert!(ft.graph().has_edge(*a, *b), "reported edge {a:?}-{b:?} missing");
+        assert!(
+            ft.graph().has_edge(*a, *b),
+            "reported edge {a:?}-{b:?} missing"
+        );
     }
     assert!(r.total_messages >= r.notified);
     assert!(r.max_messages_per_node <= r.total_messages);
@@ -421,12 +424,7 @@ fn figure3_wait_ready_deployed_transitions() {
     // wait → deployed (non-heir rep takes a SubRT helper).
     let t = RootedTree::from_parent_pairs(
         n(0),
-        &[
-            (n(1), n(0)),
-            (n(2), n(1)),
-            (n(3), n(1)),
-            (n(4), n(1)),
-        ],
+        &[(n(1), n(0)), (n(2), n(1)), (n(3), n(1)), (n(4), n(1))],
     );
     let mut ft = ForgivingTree::new(&t);
     for v in [1u32, 2, 3, 4] {
@@ -435,7 +433,11 @@ fn figure3_wait_ready_deployed_transitions() {
     ft.delete(n(1));
     ft.validate();
     assert_eq!(ft.role_kind(n(4)), RoleKind::Ready, "heir: wait → ready");
-    assert_eq!(ft.role_kind(n(2)), RoleKind::Deployed, "rep: wait → deployed");
+    assert_eq!(
+        ft.role_kind(n(2)),
+        RoleKind::Deployed,
+        "rep: wait → deployed"
+    );
     assert_eq!(ft.role_kind(n(3)), RoleKind::Deployed);
     // deleting the root deploys the ready heir into the root's will slot
     ft.delete(n(0));
@@ -492,9 +494,18 @@ fn heal_stats_aggregate_over_sequences() {
 fn ablation_configs_heal_exhaustively_on_small_trees() {
     use crate::shape::ShapeConfig;
     let configs = [
-        ShapeConfig { balanced: true, heir_min: true },
-        ShapeConfig { balanced: false, heir_min: false },
-        ShapeConfig { balanced: false, heir_min: true },
+        ShapeConfig {
+            balanced: true,
+            heir_min: true,
+        },
+        ShapeConfig {
+            balanced: false,
+            heir_min: false,
+        },
+        ShapeConfig {
+            balanced: false,
+            heir_min: true,
+        },
     ];
     for cfg in configs {
         for perm in permutations(&[0, 1, 2, 3, 4]) {

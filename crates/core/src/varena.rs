@@ -93,7 +93,10 @@ impl VArena {
     /// unlink first — catching splice bugs early), or on double free.
     pub fn release(&mut self, id: VId) {
         let node = self.nodes[id.i()].take().expect("double free of vnode");
-        assert!(node.parent.is_none(), "released vnode still linked to parent");
+        assert!(
+            node.parent.is_none(),
+            "released vnode still linked to parent"
+        );
         assert!(
             node.children.is_empty(),
             "released vnode still has children"
@@ -160,11 +163,7 @@ impl VArena {
     /// # Panics
     /// Panics if the edge does not exist.
     pub fn unlink(&mut self, parent: VId, child: VId) {
-        assert_eq!(
-            self.node(child).parent,
-            Some(parent),
-            "unlink of non-edge"
-        );
+        assert_eq!(self.node(child).parent, Some(parent), "unlink of non-edge");
         self.node_mut(child).parent = None;
         let kids = &mut self.node_mut(parent).children;
         let pos = kids

@@ -103,7 +103,9 @@ pub fn diameter_double_sweep(g: &Graph) -> Option<u32> {
     if d1.len() != g.len() {
         return None;
     }
-    let (&u, _) = d1.iter().max_by_key(|&(id, d)| (*d, std::cmp::Reverse(*id)))?;
+    let (&u, _) = d1
+        .iter()
+        .max_by_key(|&(id, d)| (*d, std::cmp::Reverse(*id)))?;
     let d2 = bfs_distances(g, u);
     d2.values().max().copied()
 }

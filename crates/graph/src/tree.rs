@@ -159,11 +159,7 @@ impl RootedTree {
     /// The tree as an undirected [`Graph`] (capacity = max ID + 1; IDs not in
     /// the tree are marked dead).
     pub fn to_graph(&self) -> Graph {
-        let cap = self
-            .nodes()
-            .map(|v| v.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let cap = self.nodes().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut g = Graph::new(cap);
         // kill IDs that are not tree nodes so that node sets agree
         for i in 0..cap {

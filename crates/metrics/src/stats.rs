@@ -31,10 +31,7 @@ impl Summary {
     /// Panics on an empty sample or NaN observations.
     pub fn of(sample: &[f64]) -> Self {
         assert!(!sample.is_empty(), "empty sample");
-        assert!(
-            sample.iter().all(|x| !x.is_nan()),
-            "NaN in sample"
-        );
+        assert!(sample.iter().all(|x| !x.is_nan()), "NaN in sample");
         let mut sorted = sample.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let count = sorted.len();

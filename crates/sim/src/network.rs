@@ -293,7 +293,10 @@ impl<P: Process> Network<P> {
         }
         self.mailbox.extend(outbox);
         for (a, b) in adds {
-            if a != b && self.graph.is_alive(a) && self.graph.is_alive(b) && !self.graph.has_edge(a, b)
+            if a != b
+                && self.graph.is_alive(a)
+                && self.graph.is_alive(b)
+                && !self.graph.has_edge(a, b)
             {
                 self.graph.add_edge(a, b);
                 stats.edges_added += 1;

@@ -11,7 +11,14 @@ use forgiving_tree::prelude::*;
 fn main() {
     let mut table = Table::new(
         "adversarial duel: Forgiving Tree vs every strategy (n≈128, full deletion)",
-        &["workload", "adversary", "stretch", "deg inc", "worst node msgs", "ok"],
+        &[
+            "workload",
+            "adversary",
+            "stretch",
+            "deg inc",
+            "worst node msgs",
+            "ok",
+        ],
     );
     for w in Workload::suite(128) {
         for adv in forgiving_tree::adversary::standard_suite(99).iter_mut() {

@@ -28,7 +28,11 @@ fn main() {
 
     let mut ft = ForgivingTree::new(&tree);
     let mut dft = DistributedForgivingTree::new(&tree);
-    println!("initial tree ({} nodes):\n{}", tree.len(), tree.to_graph().to_dot("initial"));
+    println!(
+        "initial tree ({} nodes):\n{}",
+        tree.len(),
+        tree.to_graph().to_dot("initial")
+    );
 
     let turns: [(u32, &str); 4] = [
         (2, "Turn 1: adversary deletes v — children a..h take over RT(v); h becomes a ready heir under p"),

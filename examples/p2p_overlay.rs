@@ -33,11 +33,7 @@ fn main() {
     );
     let tree = setup.tree;
     let d0 = diameter_exact(&tree.to_graph()).expect("tree connected");
-    println!(
-        "spanning tree: Δ={}, diameter={}",
-        tree.max_degree(),
-        d0
-    );
+    println!("spanning tree: Δ={}, diameter={}", tree.max_degree(), d0);
 
     // The cascade: always kill the highest-degree surviving peer.
     let mut contenders: Vec<Box<dyn SelfHealer>> = vec![
@@ -55,7 +51,9 @@ fn main() {
                 graph: healer.graph(),
                 ft: healer.as_forgiving(),
             };
-            let Some(v) = adv.next_target(view) else { break };
+            let Some(v) = adv.next_target(view) else {
+                break;
+            };
             healer.delete(v);
             worst_deg = worst_deg.max(healer.max_degree_increase());
         }

@@ -1,0 +1,262 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the benches link against
+//! this minimal vendored harness: it runs each benchmark closure through a
+//! short warm-up, then a fixed measurement window, and prints mean
+//! time-per-iteration (plus throughput when declared). No statistics,
+//! plotting, or baseline comparison — but every bench compiles and produces
+//! a usable number, and the API matches criterion 0.5 for the calls the
+//! workspace makes: `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_with_input, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId::new`,
+//! `Throughput::Elements`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; the shim has no configurable args.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    /// Real criterion writes reports here; the shim only flushes stdout.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's window is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.throughput.clone(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_benchmark_id().0, self.throughput.clone(), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (`function_name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversions accepted where criterion takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants alike
+/// (setup is excluded from timing either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly until the measurement window closes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Run `setup` (untimed) then `routine` (timed) per iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass (discarded).
+    let mut warm = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        deadline: Instant::now() + WARMUP_WINDOW,
+    };
+    f(&mut warm);
+
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        deadline: Instant::now() + MEASURE_WINDOW,
+    };
+    f(&mut b);
+
+    let iters = b.iters_done.max(1);
+    let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("  {id}: {} iters, {:.1} ns/iter{rate}", iters, per_iter);
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; nothing to do.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,44 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing a `Vec` of values from `element`, with length drawn
+/// from `size`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build container cannot reach crates.io, so property tests run against
+//! this small vendored engine instead of the real crate. Supported surface:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute and
+//!   `fn name(pattern in strategy, ...) { body }` test items;
+//! - [`Strategy`] for integer ranges, [`Just`], tuples (arity ≤ 6),
+//!   [`collection::vec`], [`bool::ANY`], and the `prop_flat_map` /
+//!   `prop_map` / `prop_shuffle` combinators;
+//! - [`prop_assert!`] / [`prop_assert_eq!`] (they panic — the surrounding
+//!   test fails the whole case).
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! generated inputs verbatim via the panic message) and a fixed derivation
+//! of per-case RNG seeds, so failures are reproducible run-to-run.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+pub mod bool {
+    //! Boolean strategies.
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Strategy producing `true` / `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test block needs in scope.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a plain
+/// `#[test]` that evaluates its strategies once, then generates and runs
+/// `cases` inputs (default 256) through the body.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(&strategies, |($($pat,)+)| $body);
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property test; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds; tuples and flat_map compose.
+        #[test]
+        fn ranges_and_composition(n in 3usize..=10, x in 0u64..100) {
+            prop_assert!((3..=10).contains(&n));
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(
+            (n, v) in (1usize..8).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0usize..n, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn shuffle_permutes(v in Just((0u32..20).collect::<Vec<u32>>()).prop_shuffle()) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u32..20).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn bool_any_works(b in crate::bool::ANY, pad in 0u8..2) {
+            // Both strategies stay within their domains.
+            prop_assert!(pad < 2);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Test configuration and the case-driving runner.
+
+use crate::strategy::Strategy;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Subset of proptest's `Config`: only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives a strategy through `config.cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+    seed: u64,
+}
+
+/// Fixed base seed so failures reproduce across runs; override with
+/// `PROPTEST_SEED=<u64>` when hunting for new counterexamples.
+const BASE_SEED: u64 = 0x005E_EDF0_E57F_0E57_u64;
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(BASE_SEED);
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Generate and run every case; assertion panics inside `body` fail the
+    /// surrounding `#[test]` with the case number in the message.
+    pub fn run<S: Strategy, F: FnMut(S::Value)>(&mut self, strategy: &S, mut body: F) {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest (shim): property failed at case {}/{} (seed {:#x})",
+                    case + 1,
+                    self.config.cases,
+                    self.seed
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

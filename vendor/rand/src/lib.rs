@@ -1,0 +1,284 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a small, deterministic, API-compatible replacement instead of the
+//! real crate: [`Rng`] (`gen_range`, `gen_bool`, `gen`), [`SeedableRng`]
+//! (`seed_from_u64`, `from_seed`), [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), and the [`seq`] helpers (`SliceRandom::{shuffle, choose}`,
+//! `IteratorRandom::choose`). Distributions are uniform; rejection sampling
+//! keeps integer ranges unbiased. Streams are deterministic per seed, which
+//! is exactly what the reproduction's seeded experiments need, but they do
+//! NOT match the real StdRng (ChaCha12) byte-for-byte.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a `Range` / `RangeInclusive` over the integer
+    /// types (unbiased, via rejection sampling) or `f64`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (panics unless `0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        // 53 random mantissa bits, same construction as rand's Standard f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Sample a value of a [`distributions::Standard`]-style type.
+    fn gen<T: distributions::StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding support for reproducible streams.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (rand's algorithm).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64: the same generator rand uses for seed expansion.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! Just enough of `rand::distributions` to back `Rng::{gen, gen_range}`.
+
+    use super::RngCore;
+
+    /// Types samplable by `Rng::gen` (the `Standard` distribution).
+    pub trait StandardSample {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Range types accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Integers with an unbiased bounded-sample primitive.
+        pub trait SampleUniform: Sized {
+            /// Uniform in `[low, high]` (inclusive); caller checks `low <= high`.
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        /// Unbiased uniform draw from `[0, span]` by rejection (Lemire-style
+        /// masking would also work; rejection keeps the code obvious).
+        fn bounded_u64<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+            if span == u64::MAX {
+                return rng.next_u64();
+            }
+            let n = span + 1;
+            // Largest multiple of n that fits in u64; reject above it.
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = rng.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_uint {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        let span = (high as u64).wrapping_sub(low as u64);
+                        low.wrapping_add(bounded_u64(span, rng) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        let span = (high as $u).wrapping_sub(low as $u) as u64;
+                        low.wrapping_add(bounded_u64(span, rng) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+        impl SampleUniform for f64 {
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                low + unit * (high - low)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy + OneStep> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_inclusive(self.start, self.end.step_down(), rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                T::sample_inclusive(low, high, rng)
+            }
+        }
+
+        /// Exclusive-to-inclusive upper-bound conversion for `Range<T>`.
+        pub trait OneStep {
+            fn step_down(self) -> Self;
+        }
+
+        macro_rules! impl_one_step {
+            ($($t:ty),*) => {$(
+                impl OneStep for $t {
+                    fn step_down(self) -> Self { self - 1 }
+                }
+            )*};
+        }
+        impl_one_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl OneStep for f64 {
+            // Floats keep the exclusive bound; the measure-zero endpoint is moot.
+            fn step_down(self) -> Self {
+                self
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IteratorRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..=40);
+            assert!((3..=40).contains(&v));
+            let w = rng.gen_range(0u64..17);
+            assert!(w < 17);
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let items = [1u32, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x as usize - 1] = true;
+            let y = items.iter().choose(&mut rng).unwrap();
+            seen[*y as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!(empty.iter().choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Sequence helpers: `SliceRandom` and `IteratorRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices (`shuffle`, `choose`).
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// Random operations on iterators (reservoir sampling).
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly random element of the iterator, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = None;
+        for (seen, item) in self.enumerate() {
+            // Keep the i-th item with probability 1/(i+1): classic reservoir.
+            if seen == 0 || rng.gen_range(0..=seen) == 0 {
+                chosen = Some(item);
+            }
+        }
+        chosen
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
