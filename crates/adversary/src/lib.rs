@@ -26,8 +26,8 @@ use ft_core::ForgivingTree;
 use ft_graph::bfs::diameter_double_sweep;
 use ft_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
-use rand::seq::IteratorRandom;
-use rand::SeedableRng;
+use rand::seq::{IteratorRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
 
 /// Everything the omniscient adversary may inspect before striking.
 #[derive(Clone, Copy)]
@@ -222,6 +222,124 @@ impl Adversary for DiameterGreedy {
     }
 }
 
+// ---------------------------------------------------------------------
+// wave planners — batched campaigns (Forgiving Graph-style attack waves)
+// ---------------------------------------------------------------------
+
+/// Plans a whole *wave* of victims against one topology snapshot, for the
+/// campaign driver (`ft_sim::Campaign`). Unlike [`Adversary`], which picks
+/// one victim per fully-healed step, a planner nominates up to `k` distinct
+/// live nodes at once.
+pub trait WavePlanner {
+    /// Short name for tables and perf records.
+    fn name(&self) -> &'static str;
+
+    /// Picks up to `k` distinct live victims (fewer when the graph is
+    /// smaller); an empty plan stops the campaign.
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<NodeId>;
+}
+
+/// Uniformly random victims without replacement (seeded, reproducible).
+#[derive(Debug)]
+pub struct RandomWave {
+    rng: StdRng,
+}
+
+impl RandomWave {
+    /// Creates the planner from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomWave {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl WavePlanner for RandomWave {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = view.graph.nodes().collect();
+        nodes.shuffle(&mut self.rng);
+        nodes.truncate(k);
+        nodes
+    }
+}
+
+/// The hub attack at wave scale: the `k` highest-degree live nodes
+/// (ties: lowest ID).
+#[derive(Debug, Default)]
+pub struct TargetedWave;
+
+impl WavePlanner for TargetedWave {
+    fn name(&self) -> &'static str {
+        "targeted"
+    }
+
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<NodeId> {
+        let g = view.graph;
+        let mut nodes: Vec<NodeId> = g.nodes().collect();
+        nodes.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        nodes.truncate(k);
+        nodes
+    }
+}
+
+/// Degree-biased sampling without replacement: victim weights follow
+/// `(degree + 1)^exponent`, so hubs die disproportionately often but leaves
+/// still churn — the heavy-tailed failure mix of real overlays.
+///
+/// Sampling uses the exponential-keys scheme (Efraimidis–Spirakis A-Res):
+/// draw `u^(1/w)` per node and keep the `k` largest keys.
+#[derive(Debug)]
+pub struct HeavyTailWave {
+    rng: StdRng,
+    /// Weight exponent; 0 degenerates to uniform, large values to targeted.
+    pub exponent: f64,
+}
+
+impl HeavyTailWave {
+    /// Creates the planner from a seed with the default exponent (2.0).
+    pub fn new(seed: u64) -> Self {
+        HeavyTailWave {
+            rng: StdRng::seed_from_u64(seed),
+            exponent: 2.0,
+        }
+    }
+}
+
+impl WavePlanner for HeavyTailWave {
+    fn name(&self) -> &'static str {
+        "heavy-tail"
+    }
+
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<NodeId> {
+        let g = view.graph;
+        let mut keyed: Vec<(f64, NodeId)> = g
+            .nodes()
+            .map(|v| {
+                let w = ((g.degree(v) + 1) as f64).powf(self.exponent);
+                let u: f64 = self.rng.gen();
+                (u.powf(1.0 / w), v)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        keyed.truncate(k);
+        keyed.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Builds a wave planner by name (`random`, `targeted`, `heavy-tail`).
+pub fn make_wave_planner(name: &str, seed: u64) -> Option<Box<dyn WavePlanner>> {
+    match name {
+        "random" => Some(Box::new(RandomWave::new(seed))),
+        "targeted" => Some(Box::new(TargetedWave)),
+        "heavy-tail" => Some(Box::new(HeavyTailWave::new(seed))),
+        _ => None,
+    }
+}
+
 /// Convenience: every strategy boxed, for sweeps.
 pub fn standard_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
     vec![
@@ -331,5 +449,60 @@ mod tests {
     #[test]
     fn standard_suite_has_six_strategies() {
         assert_eq!(standard_suite(1).len(), 6);
+    }
+
+    #[test]
+    fn wave_planners_return_distinct_live_victims() {
+        let g = gen::kary_tree(40, 3);
+        for name in ["random", "targeted", "heavy-tail"] {
+            let mut p = make_wave_planner(name, 5).expect("known planner");
+            let wave = p.plan(view(&g), 12);
+            assert_eq!(wave.len(), 12, "{name} fills the wave");
+            let set: std::collections::BTreeSet<NodeId> = wave.iter().copied().collect();
+            assert_eq!(set.len(), wave.len(), "{name} victims are distinct");
+            assert!(wave.iter().all(|&v| g.is_alive(v)), "{name} victims live");
+        }
+        assert!(make_wave_planner("nope", 0).is_none());
+    }
+
+    #[test]
+    fn wave_planners_are_deterministic_per_seed() {
+        let g = gen::kary_tree(30, 2);
+        for name in ["random", "heavy-tail"] {
+            let mut a = make_wave_planner(name, 9).unwrap();
+            let mut b = make_wave_planner(name, 9).unwrap();
+            assert_eq!(a.plan(view(&g), 7), b.plan(view(&g), 7), "{name}");
+        }
+    }
+
+    #[test]
+    fn targeted_wave_takes_the_hubs() {
+        let g = gen::star(10);
+        let wave = TargetedWave.plan(view(&g), 3);
+        assert_eq!(wave[0], n(0), "the hub dies first");
+        assert_eq!(&wave[1..], &[n(1), n(2)], "then lowest-ID leaves");
+    }
+
+    #[test]
+    fn heavy_tail_wave_prefers_hubs() {
+        // on a star, the hub's weight dwarfs the leaves': it should appear
+        // in nearly every planned wave
+        let g = gen::star(30);
+        let mut p = HeavyTailWave::new(3);
+        let mut hub_hits = 0;
+        for _ in 0..50 {
+            if p.plan(view(&g), 3).contains(&n(0)) {
+                hub_hits += 1;
+            }
+        }
+        assert!(hub_hits > 40, "hub planned in {hub_hits}/50 waves");
+    }
+
+    #[test]
+    fn short_waves_cover_the_whole_graph() {
+        let g = gen::path(5);
+        let mut p = RandomWave::new(1);
+        let wave = p.plan(view(&g), 99);
+        assert_eq!(wave.len(), 5, "capped at the live population");
     }
 }

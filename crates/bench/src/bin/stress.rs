@@ -1,0 +1,43 @@
+//! Scale stress benchmark: the full 10⁵-node adversarial campaign on the
+//! message-level distributed engine, emitting `BENCH_sim.json`.
+//!
+//! Runs the three wave planners (random, targeted, heavy-tail) back to
+//! back at the default scale (n = 100 000, 1 000 deletions in waves of 50)
+//! and writes the perf record of the *random* campaign — the reference
+//! configuration — to `BENCH_sim.json` in the working directory. Override
+//! the scale with `STRESS_NODES` / `STRESS_DELETIONS` (used by CI's
+//! smoke-scale run).
+
+use ft_metrics::{run_stress, StressConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nodes = env_usize("STRESS_NODES", 100_000);
+    let deletions = env_usize("STRESS_DELETIONS", 1_000);
+    let wave_size = env_usize("STRESS_WAVE", 50);
+    let mut reference = None;
+    for planner in ["random", "targeted", "heavy-tail"] {
+        let cfg = StressConfig {
+            nodes,
+            deletions,
+            wave_size,
+            arity: 8,
+            planner: planner.into(),
+            seed: 42,
+        };
+        let rec = run_stress(&cfg);
+        println!("{}", rec.summary());
+        if planner == "random" {
+            reference = Some(rec);
+        }
+    }
+    let rec = reference.expect("random campaign ran");
+    std::fs::write("BENCH_sim.json", rec.to_json()).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}

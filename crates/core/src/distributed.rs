@@ -1162,6 +1162,23 @@ impl DistributedForgivingTree {
         self.net.nodes()
     }
 
+    /// The message ledger of the underlying simulator — the single source
+    /// of truth for Theorem 1.3's message accounting.
+    pub fn ledger(&self) -> &ft_sim::MsgLedger {
+        self.net.ledger()
+    }
+
+    /// Read access to the underlying simulated network.
+    pub fn network(&self) -> &Network<FtNode> {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network, for campaign drivers
+    /// (`ft_sim::Campaign`) that batch deletions and interleave heals.
+    pub fn network_mut(&mut self) -> &mut Network<FtNode> {
+        &mut self.net
+    }
+
     /// Deletes `v` and runs the recovery phase to quiescence.
     ///
     /// # Panics

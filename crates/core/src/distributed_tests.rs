@@ -48,6 +48,10 @@ fn differential_run(tree: &RootedTree, order: &[NodeId]) {
         let _ = sr;
     }
     assert!(dist.is_empty());
+    // the simulator's books must reconcile after every campaign
+    dist.network()
+        .check_accounting()
+        .expect("message ledger imbalance");
 }
 
 #[test]
@@ -176,6 +180,42 @@ fn distributed_node_introspection() {
         assert!(dist.node(n(c)).is_helper(), "n{c} should be a helper");
         assert!(!dist.node(n(c)).is_ready_heir());
     }
+}
+
+#[test]
+fn books_balance_after_a_wave_campaign() {
+    // Regression for the split-ledger bugs: per-node counts were charged at
+    // send time from the outbox (including mail later dropped on dead
+    // addressees) while totals counted deliveries, and deletion notices
+    // appeared in only one book. After a whole campaign the single ledger
+    // must satisfy both identities.
+    use ft_sim::{Campaign, CampaignConfig};
+
+    let g = gen::kary_tree(63, 2);
+    let t = RootedTree::from_tree_graph(&g, n(0));
+    let mut dist = DistributedForgivingTree::new(&t);
+    let mut campaign = Campaign::new(CampaignConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    while dist.len() > 8 {
+        let mut victims: Vec<NodeId> = dist.nodes().collect();
+        victims.shuffle(&mut rng);
+        victims.truncate(4);
+        campaign.run_wave(dist.network_mut(), &victims);
+        dist.network().check_accounting().expect("books balance");
+    }
+    let ledger = dist.ledger();
+    assert_eq!(
+        ledger.sum_per_node(),
+        2 * ledger.total_messages() - ledger.notices(),
+        "per-node books reconcile with the totals"
+    );
+    assert!(ledger.notices() > 0, "deletion notices are on the books");
+    assert_eq!(
+        campaign.report().messages,
+        ledger.total_messages(),
+        "campaign report derives from the same ledger"
+    );
+    assert_eq!(campaign.report().deletions, 63 - dist.len());
 }
 
 fn permutations(items: &[u32]) -> Vec<Vec<u32>> {

@@ -2,15 +2,18 @@
 //!
 //! Uniform machinery for every experiment in EXPERIMENTS.md: named
 //! workloads ([`workload`]), a trial runner that drives a
-//! healer–adversary pair while recording time series ([`runner`]), and
-//! plain-text/CSV table formatting ([`table`]).
+//! healer–adversary pair while recording time series ([`runner`]),
+//! plain-text/CSV table formatting ([`table`]), and the large-scale
+//! wave-campaign stress harness behind `ftree stress` ([`stress`]).
 
 pub mod runner;
 pub mod stats;
+pub mod stress;
 pub mod table;
 pub mod workload;
 
 pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
 pub use stats::{log_log_slope, Summary};
+pub use stress::{run_stress, StressConfig, StressRecord};
 pub use table::Table;
 pub use workload::Workload;

@@ -1,0 +1,257 @@
+//! Scale stress harness: 10⁵-node adversarial campaigns on the distributed
+//! engine, with a machine-readable perf record (`BENCH_sim.json`).
+//!
+//! [`run_stress`] builds a k-ary tree workload, arms the message-level
+//! [`DistributedForgivingTree`], and drives wave after wave of deletions
+//! (planned by an `ft-adversary` [`WavePlanner`], applied by the
+//! `ft-sim` [`Campaign`] driver) until the deletion budget is spent. The
+//! resulting [`StressRecord`] reports throughput (deletions/sec and
+//! messages/sec), the peak per-node round load, and the full message
+//! ledger — and `run_stress` panics if the books do not balance or any
+//! heal fails to quiesce, so it doubles as an end-to-end accounting check
+//! in CI.
+
+use ft_adversary::{make_wave_planner, AdversaryView};
+use ft_core::distributed::DistributedForgivingTree;
+use ft_graph::tree::RootedTree;
+use ft_graph::{gen, NodeId};
+use ft_sim::{Campaign, CampaignConfig};
+use std::time::Instant;
+
+/// Stress-campaign parameters.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Initial node count (the paper's `n`).
+    pub nodes: usize,
+    /// Total deletion budget.
+    pub deletions: usize,
+    /// Victims per adversarial wave.
+    pub wave_size: usize,
+    /// Arity of the k-ary tree workload.
+    pub arity: usize,
+    /// Wave planner: `random`, `targeted`, or `heavy-tail`.
+    pub planner: String,
+    /// RNG seed for the planner.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            nodes: 100_000,
+            deletions: 1_000,
+            wave_size: 50,
+            arity: 8,
+            planner: String::from("random"),
+            seed: 42,
+        }
+    }
+}
+
+/// The perf record emitted as `BENCH_sim.json`.
+#[derive(Clone, Debug)]
+pub struct StressRecord {
+    /// Echo of the configuration.
+    pub config: StressConfig,
+    /// Waves applied.
+    pub waves: usize,
+    /// Deletions actually performed.
+    pub deletions: usize,
+    /// Engine rounds consumed.
+    pub rounds: u64,
+    /// Live nodes remaining.
+    pub live_remaining: usize,
+    /// Wall-clock seconds for the campaign (setup excluded).
+    pub elapsed_secs: f64,
+    /// Healed deletions per second.
+    pub nodes_per_sec: f64,
+    /// Delivered messages (notices included) per second.
+    pub msgs_per_sec: f64,
+    /// Worst single-node single-round message load.
+    pub peak_per_node_load: usize,
+    /// Worst lifetime per-node message total.
+    pub max_per_node_total: u64,
+    /// Ledger: messages handed to the engine.
+    pub sent: u64,
+    /// Ledger: protocol messages delivered.
+    pub delivered: u64,
+    /// Ledger: messages dropped on dead endpoints.
+    pub dropped: u64,
+    /// Ledger: deletion notices delivered.
+    pub notices: u64,
+    /// Ledger: deliveries + notices.
+    pub total_messages: u64,
+    /// Whether both ledger identities held at the end (always true when
+    /// `run_stress` returns — it panics otherwise).
+    pub balanced: bool,
+}
+
+impl StressRecord {
+    /// Serializes the record as a flat JSON object (hand-rolled: the
+    /// workspace is offline and vendors no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"sim_stress\",\n",
+                "  \"nodes\": {},\n",
+                "  \"arity\": {},\n",
+                "  \"planner\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"wave_size\": {},\n",
+                "  \"waves\": {},\n",
+                "  \"deletions\": {},\n",
+                "  \"rounds\": {},\n",
+                "  \"live_remaining\": {},\n",
+                "  \"elapsed_secs\": {:.6},\n",
+                "  \"nodes_per_sec\": {:.1},\n",
+                "  \"msgs_per_sec\": {:.1},\n",
+                "  \"peak_per_node_load\": {},\n",
+                "  \"max_per_node_total\": {},\n",
+                "  \"sent\": {},\n",
+                "  \"delivered\": {},\n",
+                "  \"dropped\": {},\n",
+                "  \"notices\": {},\n",
+                "  \"total_messages\": {},\n",
+                "  \"balanced\": {}\n",
+                "}}\n"
+            ),
+            self.config.nodes,
+            self.config.arity,
+            self.config.planner,
+            self.config.seed,
+            self.config.wave_size,
+            self.waves,
+            self.deletions,
+            self.rounds,
+            self.live_remaining,
+            self.elapsed_secs,
+            self.nodes_per_sec,
+            self.msgs_per_sec,
+            self.peak_per_node_load,
+            self.max_per_node_total,
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.notices,
+            self.total_messages,
+            self.balanced,
+        )
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} deletions over {} waves on n={} ({} planner): {:.2}s, \
+             {:.0} deletions/s, {:.0} msgs/s, peak node load {}, books balanced",
+            self.deletions,
+            self.waves,
+            self.config.nodes,
+            self.config.planner,
+            self.elapsed_secs,
+            self.nodes_per_sec,
+            self.msgs_per_sec,
+            self.peak_per_node_load,
+        )
+    }
+}
+
+/// Runs the stress campaign described by `cfg`.
+///
+/// # Panics
+/// Panics on an unknown planner name, a heal that fails to quiesce, or a
+/// message-ledger imbalance — a non-zero exit is the CI failure signal.
+pub fn run_stress(cfg: &StressConfig) -> StressRecord {
+    let g = gen::kary_tree(cfg.nodes, cfg.arity.max(2));
+    let tree = RootedTree::from_tree_graph(&g, NodeId(0));
+    let mut dist = DistributedForgivingTree::new(&tree);
+    let mut planner = make_wave_planner(&cfg.planner, cfg.seed)
+        .unwrap_or_else(|| panic!("unknown wave planner: {}", cfg.planner));
+    let mut campaign = Campaign::new(CampaignConfig::default());
+
+    let start = Instant::now();
+    let mut remaining = cfg.deletions.min(cfg.nodes.saturating_sub(1));
+    while remaining > 0 && dist.len() > 1 {
+        let k = remaining.min(cfg.wave_size.max(1)).min(dist.len() - 1);
+        let victims = planner.plan(
+            AdversaryView {
+                graph: dist.graph(),
+                ft: None,
+            },
+            k,
+        );
+        if victims.is_empty() {
+            break;
+        }
+        remaining -= victims.len();
+        campaign.run_wave(dist.network_mut(), &victims);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    dist.network()
+        .check_accounting()
+        .expect("message ledger imbalance after stress campaign");
+    let ledger = dist.ledger();
+    let report = campaign.report();
+    StressRecord {
+        waves: report.waves,
+        deletions: report.deletions,
+        rounds: report.rounds,
+        live_remaining: dist.len(),
+        elapsed_secs: elapsed,
+        nodes_per_sec: report.deletions as f64 / elapsed,
+        msgs_per_sec: ledger.total_messages() as f64 / elapsed,
+        peak_per_node_load: report.peak_round_load,
+        max_per_node_total: ledger.max_per_node(),
+        sent: ledger.sent(),
+        delivered: ledger.delivered(),
+        dropped: ledger.dropped(),
+        notices: ledger.notices(),
+        total_messages: ledger.total_messages(),
+        balanced: true,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_campaign_balances() {
+        for planner in ["random", "targeted", "heavy-tail"] {
+            let cfg = StressConfig {
+                nodes: 300,
+                deletions: 60,
+                wave_size: 7,
+                arity: 4,
+                planner: planner.into(),
+                seed: 1,
+            };
+            let rec = run_stress(&cfg);
+            assert_eq!(rec.deletions, 60, "{planner}");
+            assert!(rec.balanced);
+            assert_eq!(rec.live_remaining, 240);
+            assert_eq!(rec.total_messages, rec.delivered + rec.notices);
+            assert!(rec.peak_per_node_load > 0);
+        }
+    }
+
+    #[test]
+    fn json_record_is_well_formed_enough() {
+        let rec = run_stress(&StressConfig {
+            nodes: 50,
+            deletions: 10,
+            wave_size: 5,
+            arity: 3,
+            planner: "random".into(),
+            seed: 2,
+        });
+        let json = rec.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"nodes_per_sec\""));
+        assert!(json.contains("\"balanced\": true"));
+        assert_eq!(json.matches(':').count(), 21, "21 fields");
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests for the engine's accounting invariants.
+//!
+//! For arbitrary random protocol traces (seeded gossip over a random tree,
+//! interleaved with adversarial deletions under both in-flight policies),
+//! the books must reconcile:
+//!
+//! - conservation: `sent == delivered + dropped` once quiescent;
+//! - reconciliation: `sum(per-node) == 2·total_messages − notices`;
+//! - the per-node books match an independent recount from the event trace
+//!   the processes themselves recorded;
+//! - every round's `max_per_node` matches a recount from the trace.
+
+use crate::network::{Ctx, InFlightPolicy, Network, Process, RoundStats};
+use ft_graph::{gen, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One observable engine event, recorded by the processes themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    Delivered {
+        round: u64,
+        from: NodeId,
+        to: NodeId,
+    },
+    Notice {
+        round: u64,
+        to: NodeId,
+    },
+}
+
+/// TTL-limited gossip with an irregular forwarding pattern; every receipt
+/// and notice is appended to the shared trace.
+#[derive(Debug)]
+struct Gossip {
+    id: NodeId,
+    neighbors: Vec<NodeId>,
+    start_ttl: u32,
+    trace: Rc<RefCell<Vec<Ev>>>,
+}
+
+impl Process for Gossip {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.id.0.is_multiple_of(3) {
+            for &u in &self.neighbors {
+                ctx.send(u, self.start_ttl);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, ttl: u32, ctx: &mut Ctx<'_, u32>) {
+        self.trace.borrow_mut().push(Ev::Delivered {
+            round: ctx.round(),
+            from,
+            to: ctx.me(),
+        });
+        if ttl > 0 {
+            for (i, &u) in self.neighbors.iter().enumerate() {
+                if (ttl as usize + i + self.id.0 as usize).is_multiple_of(2) {
+                    ctx.send(u, ttl - 1);
+                }
+            }
+        }
+    }
+
+    fn on_neighbor_deleted(&mut self, dead: NodeId, ctx: &mut Ctx<'_, u32>) {
+        self.trace.borrow_mut().push(Ev::Notice {
+            round: ctx.round(),
+            to: ctx.me(),
+        });
+        // note: `neighbors` is deliberately NOT pruned — later gossip may
+        // still address the dead node, exercising the drop books.
+        let _ = dead;
+        if let Some(&u) = self.neighbors.first() {
+            ctx.send(u, 1);
+        }
+    }
+}
+
+/// Shared event log the gossip processes append to.
+type Trace = Rc<RefCell<Vec<Ev>>>;
+
+/// Runs a seeded gossip-plus-deletions trace, returning the network, the
+/// per-round engine stats (keyed by round number), and the event trace.
+fn run_trace(
+    n: usize,
+    seed: u64,
+    ttl: u32,
+    kills: &[usize],
+    policy: InFlightPolicy,
+) -> (Network<Gossip>, Vec<(u64, RoundStats)>, Trace) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_tree(n, &mut rng);
+    let nbrs: Vec<Vec<NodeId>> = (0..g.capacity())
+        .map(|i| g.neighbors(NodeId(i as u32)).collect())
+        .collect();
+    let trace: Rc<RefCell<Vec<Ev>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut net = Network::with_policy(g, policy, |v| Gossip {
+        id: v,
+        neighbors: nbrs[v.index()].clone(),
+        start_ttl: ttl,
+        trace: Rc::clone(&trace),
+    });
+    let mut per_round = Vec::new();
+    let r = net.round();
+    per_round.push((r, net.start()));
+    let drain = |net: &mut Network<Gossip>, per_round: &mut Vec<(u64, RoundStats)>| {
+        let mut guard = 0;
+        while net.has_pending() {
+            let r = net.round();
+            per_round.push((r, net.step()));
+            guard += 1;
+            assert!(guard < 300, "gossip failed to quiesce");
+        }
+    };
+    drain(&mut net, &mut per_round);
+    for &k in kills {
+        if net.len() <= 1 {
+            break;
+        }
+        let victim = net.nodes().nth(k % net.len()).expect("in range");
+        let r = net.round();
+        per_round.push((r, net.delete_node(victim)));
+        drain(&mut net, &mut per_round);
+    }
+    (net, per_round, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn books_reconcile_on_random_traces(
+        n in 5usize..40,
+        seed in 0u64..1000,
+        ttl in 1u32..5,
+        kills in proptest::collection::vec(0usize..64, 1..8),
+        drop_in_flight in proptest::bool::ANY,
+    ) {
+        let policy = if drop_in_flight {
+            InFlightPolicy::Drop
+        } else {
+            InFlightPolicy::Deliver
+        };
+        let (net, per_round, trace) = run_trace(n, seed, ttl, &kills, policy);
+        let trace = trace.borrow();
+        let ledger = net.ledger();
+
+        // conservation + reconciliation identities (quiescent: 0 in flight)
+        prop_assert!(!net.has_pending());
+        if let Err(e) = net.check_accounting() {
+            panic!("ledger imbalance: {e}");
+        }
+        prop_assert_eq!(
+            ledger.sum_per_node(),
+            2 * ledger.total_messages() - ledger.notices()
+        );
+
+        // the per-node books match an independent recount from the trace
+        let mut sent: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut recv: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for ev in trace.iter() {
+            match *ev {
+                Ev::Delivered { from, to, .. } => {
+                    *sent.entry(from).or_insert(0) += 1;
+                    *recv.entry(to).or_insert(0) += 1;
+                }
+                Ev::Notice { to, .. } => {
+                    *recv.entry(to).or_insert(0) += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            let v = NodeId(i as u32);
+            prop_assert_eq!(
+                ledger.per_node_sent(v),
+                sent.get(&v).copied().unwrap_or(0),
+                "sent book of {:?}",
+                v
+            );
+            prop_assert_eq!(
+                ledger.per_node_received(v),
+                recv.get(&v).copied().unwrap_or(0),
+                "recv book of {:?}",
+                v
+            );
+        }
+
+        // every round's max_per_node matches a recount from the trace
+        let mut loads: BTreeMap<u64, BTreeMap<NodeId, usize>> = BTreeMap::new();
+        for ev in trace.iter() {
+            match *ev {
+                Ev::Delivered { round, from, to } => {
+                    let l = loads.entry(round).or_default();
+                    *l.entry(from).or_insert(0) += 1;
+                    *l.entry(to).or_insert(0) += 1;
+                }
+                Ev::Notice { round, to } => {
+                    *loads.entry(round).or_default().entry(to).or_insert(0) += 1;
+                }
+            }
+        }
+        for (round, stats) in &per_round {
+            let expect = loads
+                .get(round)
+                .and_then(|l| l.values().max().copied())
+                .unwrap_or(0);
+            prop_assert_eq!(
+                stats.max_per_node,
+                expect,
+                "max_per_node of round {}",
+                round
+            );
+        }
+
+        // total deliveries recounted from the trace
+        let delivered = trace
+            .iter()
+            .filter(|e| matches!(e, Ev::Delivered { .. }))
+            .count() as u64;
+        let notices = trace
+            .iter()
+            .filter(|e| matches!(e, Ev::Notice { .. }))
+            .count() as u64;
+        prop_assert_eq!(ledger.delivered(), delivered);
+        prop_assert_eq!(ledger.notices(), notices);
+    }
+}

@@ -1,0 +1,244 @@
+//! Adversarial deletion campaigns: batched waves with interleaved heals.
+//!
+//! The Forgiving Graph follow-up (Hayes–Saia–Trehan, arXiv:0902.2501)
+//! stresses *repeated large-scale attack waves* rather than single
+//! deletions. [`Campaign`] is the driver for that regime: the caller plans a
+//! **wave** of victims against a topology snapshot (see the wave planners in
+//! `ft-adversary`), the campaign applies the deletions to a [`Network`] and
+//! interleaves heals according to its [`HealCadence`]:
+//!
+//! - [`PerDeletion`](HealCadence::PerDeletion) (default) — the paper's
+//!   Model 2.1: one deletion per time step, recovery runs to quiescence
+//!   before the next strike. Safe for every protocol.
+//! - [`PerWave`](HealCadence::PerWave) — the whole wave lands before any
+//!   recovery round runs, modeling correlated failures. Only for protocols
+//!   designed to survive concurrent deletions.
+//!
+//! The campaign accumulates a [`CampaignReport`] (deletions, rounds, edge
+//! churn, the worst per-node round load) whose message figures all derive
+//! from the network's [`MsgLedger`](crate::MsgLedger), so a campaign's books
+//! can always be audited with [`Network::check_accounting`].
+
+use crate::network::{Network, Process, RoundStats};
+use ft_graph::NodeId;
+
+/// When recovery rounds run relative to a wave's deletions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HealCadence {
+    /// Heal to quiescence after every single deletion (Model 2.1).
+    #[default]
+    PerDeletion,
+    /// Apply the whole wave, then heal to quiescence once.
+    PerWave,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Heal interleaving.
+    pub cadence: HealCadence,
+    /// Round budget per heal phase; exceeding it panics (non-quiescence).
+    pub max_rounds_per_heal: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            cadence: HealCadence::PerDeletion,
+            max_rounds_per_heal: 64,
+        }
+    }
+}
+
+/// What one wave did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Zero-based wave index within the campaign.
+    pub wave: usize,
+    /// Victims actually deleted.
+    pub deletions: usize,
+    /// Engine rounds consumed (deletion steps + recovery rounds).
+    pub rounds: u32,
+    /// Messages delivered during the wave (deletion notices included).
+    pub messages: usize,
+    /// Worst single-node single-round message load within the wave.
+    pub max_per_node: usize,
+    /// Edges inserted by the healers.
+    pub edges_added: usize,
+    /// Edges dropped by the healers.
+    pub edges_removed: usize,
+}
+
+impl WaveStats {
+    fn absorb(&mut self, s: &RoundStats, rounds: u32) {
+        self.rounds += rounds;
+        self.messages += s.messages;
+        self.max_per_node = self.max_per_node.max(s.max_per_node);
+        self.edges_added += s.edges_added;
+        self.edges_removed += s.edges_removed;
+    }
+}
+
+/// Whole-campaign aggregates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Waves applied.
+    pub waves: usize,
+    /// Total deletions.
+    pub deletions: usize,
+    /// Total engine rounds consumed.
+    pub rounds: u64,
+    /// Total messages delivered (notices included).
+    pub messages: u64,
+    /// Worst single-node single-round load across the whole campaign — the
+    /// "peak per-node load" figure of the stress record.
+    pub peak_round_load: usize,
+    /// Worst rounds consumed by any single wave.
+    pub worst_wave_rounds: u32,
+    /// Total edges inserted.
+    pub edges_added: usize,
+    /// Total edges dropped.
+    pub edges_removed: usize,
+}
+
+/// The campaign driver; owns nothing but configuration and the running
+/// report, so one instance can drive any number of networks in sequence.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    cfg: CampaignConfig,
+    report: CampaignReport,
+}
+
+impl Campaign {
+    /// A campaign with the given configuration.
+    pub fn new(cfg: CampaignConfig) -> Self {
+        Campaign {
+            cfg,
+            report: CampaignReport::default(),
+        }
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &CampaignReport {
+        &self.report
+    }
+
+    /// Applies one wave of deletions to `net` with interleaved heals.
+    ///
+    /// Victims must be distinct and alive (plan them against `net.graph()`).
+    ///
+    /// # Panics
+    /// Panics if a victim is dead or a heal phase fails to quiesce within
+    /// the configured round budget.
+    pub fn run_wave<P: Process>(&mut self, net: &mut Network<P>, victims: &[NodeId]) -> WaveStats {
+        let mut ws = WaveStats {
+            wave: self.report.waves,
+            ..WaveStats::default()
+        };
+        match self.cfg.cadence {
+            HealCadence::PerDeletion => {
+                for &v in victims {
+                    let notice = net.delete_node(v);
+                    ws.deletions += 1;
+                    ws.absorb(&notice, 1);
+                    let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
+                    ws.absorb(&merged, rounds);
+                }
+            }
+            HealCadence::PerWave => {
+                for &v in victims {
+                    let notice = net.delete_node(v);
+                    ws.deletions += 1;
+                    ws.absorb(&notice, 1);
+                }
+                let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
+                ws.absorb(&merged, rounds);
+            }
+        }
+        self.report.waves += 1;
+        self.report.deletions += ws.deletions;
+        self.report.rounds += u64::from(ws.rounds);
+        self.report.messages += ws.messages as u64;
+        self.report.peak_round_load = self.report.peak_round_load.max(ws.max_per_node);
+        self.report.worst_wave_rounds = self.report.worst_wave_rounds.max(ws.rounds);
+        self.report.edges_added += ws.edges_added;
+        self.report.edges_removed += ws.edges_removed;
+        ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Ctx, Process};
+    use ft_graph::{gen, NodeId};
+
+    /// On a neighbor's death, ping every surviving graph neighbor once —
+    /// enough traffic to make the ledgers interesting.
+    #[derive(Debug)]
+    struct Pinger {
+        neighbors: Vec<NodeId>,
+        pings: usize,
+    }
+
+    impl Process for Pinger {
+        type Msg = ();
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {
+            self.pings += 1;
+        }
+        fn on_neighbor_deleted(&mut self, dead: NodeId, ctx: &mut Ctx<'_, ()>) {
+            self.neighbors.retain(|&u| u != dead);
+            for &u in &self.neighbors {
+                ctx.send(u, ());
+            }
+        }
+    }
+
+    fn pinger_net(g: ft_graph::Graph) -> Network<Pinger> {
+        let nbrs: Vec<Vec<NodeId>> = (0..g.capacity())
+            .map(|i| g.neighbors(NodeId(i as u32)).collect())
+            .collect();
+        Network::new(g, |v| Pinger {
+            neighbors: nbrs[v.index()].clone(),
+            pings: 0,
+        })
+    }
+
+    #[test]
+    fn per_deletion_wave_heals_between_strikes() {
+        let mut net = pinger_net(gen::grid(4, 4));
+        let mut campaign = Campaign::new(CampaignConfig::default());
+        let ws = campaign.run_wave(&mut net, &[NodeId(5), NodeId(10)]);
+        assert_eq!(ws.deletions, 2);
+        assert!(ws.messages > 0);
+        assert!(!net.has_pending(), "healed to quiescence");
+        net.check_accounting().expect("books balance");
+        assert_eq!(campaign.report().waves, 1);
+        assert_eq!(campaign.report().deletions, 2);
+    }
+
+    #[test]
+    fn per_wave_cadence_batches_deletions() {
+        let mut net = pinger_net(gen::grid(4, 4));
+        let mut campaign = Campaign::new(CampaignConfig {
+            cadence: HealCadence::PerWave,
+            max_rounds_per_heal: 16,
+        });
+        let ws = campaign.run_wave(&mut net, &[NodeId(0), NodeId(15)]);
+        assert_eq!(ws.deletions, 2);
+        assert!(!net.has_pending());
+        net.check_accounting().expect("books balance");
+    }
+
+    #[test]
+    fn report_accumulates_across_waves() {
+        let mut net = pinger_net(gen::grid(5, 5));
+        let mut campaign = Campaign::new(CampaignConfig::default());
+        campaign.run_wave(&mut net, &[NodeId(12)]);
+        campaign.run_wave(&mut net, &[NodeId(0), NodeId(24)]);
+        let r = campaign.report();
+        assert_eq!((r.waves, r.deletions), (2, 3));
+        assert_eq!(r.messages, net.ledger().total_messages());
+        assert!(r.rounds >= 3, "at least one round per deletion");
+    }
+}

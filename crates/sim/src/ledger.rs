@@ -1,0 +1,195 @@
+//! The message ledger — the engine's single source of accounting truth.
+//!
+//! Theorem 1.3 claims O(1) messages per node per deletion, so the
+//! simulator's message counts *are* the experimental evidence and must
+//! reconcile. Earlier engines kept two independent books (per-node counts
+//! charged at send time from the outbox, totals charged at delivery, and
+//! deletion notices present in only one of them), which could not balance
+//! once mail was dropped on dead addressees. [`MsgLedger`] replaces both:
+//! every statistic the engine reports derives from this one ledger.
+//!
+//! The books:
+//!
+//! - **sent** — protocol messages handed to the engine at the end of their
+//!   sending round, including mail that is later dropped;
+//! - **delivered** — protocol messages actually handed to a live process;
+//! - **dropped** — mail that never arrived: addressee dead at send time,
+//!   addressee killed while the mail was in flight, or — under
+//!   [`InFlightPolicy::Drop`](crate::InFlightPolicy) — sender killed;
+//! - **notices** — deletion notices (the model's failure detection),
+//!   delivered out-of-band by the environment, so they appear in the
+//!   delivery-side books but never in `sent`.
+//!
+//! Per-node charges happen **at delivery**: a delivered message charges its
+//! sender once and its receiver once; a notice charges only the surviving
+//! receiver (the sender is dead). Two identities therefore hold at all
+//! times and are enforced by [`MsgLedger::check`]:
+//!
+//! ```text
+//! sent         == delivered + dropped + in-flight          (conservation)
+//! sum_per_node == 2·delivered + notices
+//!              == 2·total_messages − notices               (reconciliation)
+//! ```
+
+use ft_graph::NodeId;
+
+/// Dense, allocation-free message accounting for one [`crate::Network`].
+///
+/// Per-node books are contiguous `Vec`s indexed by [`NodeId`], sized once at
+/// construction from the graph capacity; nothing is allocated per round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsgLedger {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    notices: u64,
+    /// Delivered messages charged to their sender, indexed by node.
+    per_sent: Vec<u64>,
+    /// Deliveries plus notices charged to their receiver, indexed by node.
+    per_recv: Vec<u64>,
+}
+
+impl MsgLedger {
+    /// An empty ledger with per-node books for IDs `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        MsgLedger {
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+            notices: 0,
+            per_sent: vec![0; capacity],
+            per_recv: vec![0; capacity],
+        }
+    }
+
+    /// A message entered the engine (outbox routed at end of round).
+    pub(crate) fn record_sent(&mut self) {
+        self.sent += 1;
+    }
+
+    /// `n` messages were dropped instead of delivered.
+    pub(crate) fn record_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// A message from `from` was delivered to the live process `to`.
+    pub(crate) fn record_delivery(&mut self, from: NodeId, to: NodeId) {
+        self.delivered += 1;
+        self.per_sent[from.index()] += 1;
+        self.per_recv[to.index()] += 1;
+    }
+
+    /// A deletion notice was delivered to the surviving neighbor `to`.
+    pub(crate) fn record_notice(&mut self, to: NodeId) {
+        self.notices += 1;
+        self.per_recv[to.index()] += 1;
+    }
+
+    /// Protocol messages handed to the engine (delivered or not).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Protocol messages delivered to live processes (notices excluded).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped on dead endpoints.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Deletion notices delivered.
+    pub fn notices(&self) -> u64 {
+        self.notices
+    }
+
+    /// Everything the wires carried: deliveries plus deletion notices.
+    pub fn total_messages(&self) -> u64 {
+        self.delivered + self.notices
+    }
+
+    /// Delivered messages `v` sent (delivery-side charge).
+    pub fn per_node_sent(&self, v: NodeId) -> u64 {
+        self.per_sent.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Messages (and notices) delivered to `v`.
+    pub fn per_node_received(&self, v: NodeId) -> u64 {
+        self.per_recv.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Total messages charged to `v`: sent-and-delivered plus received.
+    pub fn per_node(&self, v: NodeId) -> u64 {
+        self.per_node_sent(v) + self.per_node_received(v)
+    }
+
+    /// Sum of [`per_node`](Self::per_node) over all nodes.
+    pub fn sum_per_node(&self) -> u64 {
+        self.per_sent.iter().sum::<u64>() + self.per_recv.iter().sum::<u64>()
+    }
+
+    /// Largest per-node charge on the books (0 for an empty ledger).
+    pub fn max_per_node(&self) -> u64 {
+        (0..self.per_sent.len())
+            .map(|i| self.per_sent[i] + self.per_recv[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verifies both ledger identities given the engine's current count of
+    /// queued (in-flight) messages. Returns a description of the first
+    /// imbalance found.
+    pub fn check(&self, in_flight: u64) -> Result<(), String> {
+        if self.sent != self.delivered + self.dropped + in_flight {
+            return Err(format!(
+                "conservation broken: sent {} != delivered {} + dropped {} + in-flight {}",
+                self.sent, self.delivered, self.dropped, in_flight
+            ));
+        }
+        let sum = self.sum_per_node();
+        if sum != 2 * self.delivered + self.notices {
+            return Err(format!(
+                "reconciliation broken: sum per-node {} != 2·delivered {} + notices {}",
+                sum, self.delivered, self.notices
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn books_balance_through_a_lifecycle() {
+        let mut l = MsgLedger::new(3);
+        l.record_sent();
+        l.record_sent();
+        l.record_sent();
+        assert!(l.check(3).is_ok(), "all three in flight");
+        l.record_delivery(n(0), n(1));
+        l.record_delivery(n(0), n(2));
+        l.record_dropped(1);
+        l.record_notice(n(1));
+        l.check(0).expect("books balance");
+        assert_eq!(l.total_messages(), 3);
+        assert_eq!(l.per_node(n(0)), 2, "two delivered sends");
+        assert_eq!(l.per_node(n(1)), 2, "one delivery + one notice");
+        assert_eq!(l.sum_per_node(), 2 * l.total_messages() - l.notices());
+    }
+
+    #[test]
+    fn check_reports_conservation_breaks() {
+        let mut l = MsgLedger::new(1);
+        l.record_sent();
+        let err = l.check(0).unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
+    }
+}

@@ -6,15 +6,53 @@
 //! processors exchange messages and add/drop edges in synchronous rounds
 //! until the recovery phase quiesces.
 //!
-//! The simulator counts every message (globally, per node and per round) so
-//! that Theorem 1.3's O(1)-messages-per-node claim and the setup phase's
-//! costs can be measured rather than assumed.
+//! # The dense engine
+//!
+//! [`Network`] keeps all node-indexed state — process slots, per-node
+//! inboxes, per-round load counters, the per-node message books — in
+//! contiguous `Vec`s indexed by [`ft_graph::NodeId`] (arena-style: deletion
+//! leaves a `None` slot). Inbox, outbox, and scratch buffers are reused
+//! between rounds, so the steady-state round loop allocates nothing and
+//! adversarial campaigns scale to 10⁵+ nodes.
+//!
+//! # Round & ledger semantics
+//!
+//! - Messages sent in round `r` are delivered at the start of round `r+1`.
+//! - Edge changes requested in round `r` apply at the end of round `r`,
+//!   **drops of pre-existing edges first, then adds** — a same-round
+//!   add+drop of one edge deterministically nets to "present".
+//! - Every count — per-round [`RoundStats`], totals, per-node books —
+//!   derives from one [`MsgLedger`] charged at delivery time (deletion
+//!   notices included), enforcing `sent = delivered + dropped + in-flight`
+//!   and `sum(per-node) = 2·total − notices`; audit any network with
+//!   [`Network::check_accounting`].
+//!
+//! # In-flight policy
+//!
+//! Mail addressed *to* a dead node is always dropped (and accounted). Mail a
+//! node sent *before being deleted* is governed by [`InFlightPolicy`]:
+//! `Deliver` (default — the wire keeps packets a crashed peer already sent)
+//! or `Drop` (the adversary silences the victim's unreceived mail too).
+//!
+//! # Campaigns
+//!
+//! [`Campaign`] drives batched adversarial deletion waves with interleaved
+//! heals ([`HealCadence::PerDeletion`] or [`HealCadence::PerWave`]) and
+//! accumulates a ledger-backed [`CampaignReport`] — the engine under
+//! `ftree stress` and the `BENCH_sim.json` perf record.
 //!
 //! [`bfs`] contains the one-time setup protocol: a distributed BFS spanning
 //! tree construction with latency equal to the root's eccentricity (the
 //! stand-in for Cohen's algorithm cited by the paper).
 
 pub mod bfs;
+pub mod campaign;
+pub mod ledger;
 pub mod network;
 
-pub use network::{Ctx, Network, Process, RoundStats};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, HealCadence, WaveStats};
+pub use ledger::MsgLedger;
+pub use network::{Ctx, InFlightPolicy, Network, Process, RoundStats};
+
+#[cfg(test)]
+mod accounting_tests;

@@ -1,18 +1,37 @@
-//! The synchronous round engine.
+//! The synchronous round engine — dense, allocation-free core.
 //!
 //! A [`Network`] owns one [`Process`] per live node plus the evolving
-//! topology [`Graph`]. Time advances in rounds: all messages sent in round
-//! `r` are delivered at the start of round `r+1`; edge insertions/removals
-//! requested in round `r` are applied at the end of round `r` (the paper
-//! allows nodes to "insert edges joining it to any other nodes as desired").
+//! topology [`Graph`]. All node-indexed state lives in contiguous `Vec`s
+//! indexed by [`NodeId`] (arena-style slots: a deleted node's slot becomes
+//! `None`), so campaigns over 10⁵+ nodes stay cache-friendly and the
+//! steady-state round loop performs no allocation: per-node inboxes, the
+//! shared outbox, edge-request buffers, and the per-round load counters are
+//! all reused between rounds.
+//!
+//! Time advances in rounds: all messages sent in round `r` are delivered at
+//! the start of round `r+1`; edge changes requested in round `r` are applied
+//! at the end of round `r`, **drops of pre-existing edges first, then
+//! inserts**, so a same-round add+drop of one edge deterministically nets to
+//! "present" (the paper allows nodes to "insert edges joining it to any
+//! other nodes as desired" — an insert expresses current interest and must
+//! not be shadowed by a concurrent release of the old edge).
 //!
 //! Messages may be addressed to any node whose name the sender has learned
 //! (the model explicitly lets messages "contain the names of other
-//! vertices"); delivery to dead nodes is silently dropped, mirroring a
-//! crashed peer.
+//! vertices"); delivery to dead addressees is dropped, mirroring a crashed
+//! peer. What happens to mail a node sent *before it was deleted* is
+//! governed by [`InFlightPolicy`]: [`Deliver`](InFlightPolicy::Deliver)
+//! (default — the wires keep working after the sender crashes) or
+//! [`Drop`](InFlightPolicy::Drop) (the adversary silences the victim's
+//! unreceived mail too).
+//!
+//! Every count the engine reports — [`RoundStats`], totals, per-node books —
+//! derives from one [`MsgLedger`] charged at delivery time, so the books
+//! reconcile by construction; see the [`crate::ledger`] module docs for the
+//! enforced identities.
 
+use crate::ledger::MsgLedger;
 use ft_graph::{Graph, NodeId};
-use std::collections::BTreeMap;
 
 /// A node-local protocol endpoint.
 ///
@@ -70,10 +89,24 @@ impl<M> Ctx<'_, M> {
     }
 }
 
-/// Per-round accounting.
+/// What happens to a deleted node's already-sent, not-yet-delivered mail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InFlightPolicy {
+    /// The mail stays in flight and is delivered next round: a crashed peer
+    /// cannot recall packets already on the wire. This is the model the
+    /// paper's heal choreography assumes, and the default.
+    #[default]
+    Deliver,
+    /// The adversary silences the victim entirely: queued mail *from* the
+    /// dead node is dropped (and accounted as dropped) along with mail
+    /// addressed to it.
+    Drop,
+}
+
+/// Per-round accounting, derived from the [`MsgLedger`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
-    /// Messages delivered this round.
+    /// Messages delivered this round (deletion notices included).
     pub messages: usize,
     /// Maximum messages any single node sent+received this round.
     pub max_per_node: usize,
@@ -83,28 +116,94 @@ pub struct RoundStats {
     pub edges_removed: usize,
 }
 
-/// The simulator: processes + topology + mailboxes + statistics.
+impl RoundStats {
+    /// Folds another round into this one (sum counts, max the load).
+    pub fn merge(&mut self, other: &RoundStats) {
+        self.messages += other.messages;
+        self.max_per_node = self.max_per_node.max(other.max_per_node);
+        self.edges_added += other.edges_added;
+        self.edges_removed += other.edges_removed;
+    }
+}
+
+/// The simulator: dense process slots + topology + per-node inboxes +
+/// the message ledger.
 #[derive(Debug)]
 pub struct Network<P: Process> {
-    procs: BTreeMap<NodeId, P>,
+    /// Process slots indexed by `NodeId` (`None` = deleted).
+    procs: Vec<Option<P>>,
     graph: Graph,
-    mailbox: Vec<(NodeId, NodeId, P::Msg)>,
+    /// Mail awaiting delivery, indexed by addressee; buffers are reused.
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Addressees with (possibly) non-empty inboxes. Invariant: every
+    /// non-empty inbox's owner is listed here exactly once.
+    hot: Vec<NodeId>,
+    /// Spare buffer `hot` is swapped with each round (keeps capacity).
+    hot_spare: Vec<NodeId>,
+    /// Staging buffer for the current round's sends.
+    outbox: Vec<(NodeId, NodeId, P::Msg)>,
+    edge_adds: Vec<(NodeId, NodeId)>,
+    edge_drops: Vec<(NodeId, NodeId)>,
+    /// Per-node message load of the current round, indexed by `NodeId`.
+    round_load: Vec<u32>,
+    /// Nodes with a non-zero `round_load` entry (cleared every round).
+    touched: Vec<NodeId>,
     round: u64,
-    total_messages: usize,
-    per_node_messages: BTreeMap<NodeId, usize>,
+    /// Queued (in-flight) message count across all inboxes.
+    pending: usize,
+    live: usize,
+    policy: InFlightPolicy,
+    ledger: MsgLedger,
+}
+
+#[inline]
+fn bump_load(load: &mut [u32], touched: &mut Vec<NodeId>, v: NodeId) {
+    let slot = &mut load[v.index()];
+    if *slot == 0 {
+        touched.push(v);
+    }
+    *slot += 1;
 }
 
 impl<P: Process> Network<P> {
-    /// Builds a network over `graph`, creating one process per live node.
-    pub fn new(graph: Graph, mut make: impl FnMut(NodeId) -> P) -> Self {
-        let procs: BTreeMap<NodeId, P> = graph.nodes().map(|v| (v, make(v))).collect();
+    /// Builds a network over `graph` with the default in-flight policy,
+    /// creating one process per live node.
+    pub fn new(graph: Graph, make: impl FnMut(NodeId) -> P) -> Self {
+        Self::with_policy(graph, InFlightPolicy::default(), make)
+    }
+
+    /// Builds a network over `graph` with an explicit [`InFlightPolicy`].
+    pub fn with_policy(
+        graph: Graph,
+        policy: InFlightPolicy,
+        mut make: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let cap = graph.capacity();
+        let mut procs: Vec<Option<P>> = Vec::with_capacity(cap);
+        procs.resize_with(cap, || None);
+        let mut live = 0usize;
+        for v in graph.nodes() {
+            procs[v.index()] = Some(make(v));
+            live += 1;
+        }
+        let mut inboxes = Vec::with_capacity(cap);
+        inboxes.resize_with(cap, Vec::new);
         Network {
             procs,
             graph,
-            mailbox: Vec::new(),
+            inboxes,
+            hot: Vec::new(),
+            hot_spare: Vec::new(),
+            outbox: Vec::new(),
+            edge_adds: Vec::new(),
+            edge_drops: Vec::new(),
+            round_load: vec![0; cap],
+            touched: Vec::new(),
             round: 0,
-            total_messages: 0,
-            per_node_messages: BTreeMap::new(),
+            pending: 0,
+            live,
+            policy,
+            ledger: MsgLedger::new(cap),
         }
     }
 
@@ -118,7 +217,9 @@ impl<P: Process> Network<P> {
     /// # Panics
     /// Panics if `v` is dead.
     pub fn process(&self, v: NodeId) -> &P {
-        &self.procs[&v]
+        self.procs[v.index()]
+            .as_ref()
+            .expect("process of dead node")
     }
 
     /// Mutable access to a node's process (initial field installation and
@@ -127,22 +228,28 @@ impl<P: Process> Network<P> {
     /// # Panics
     /// Panics if `v` is dead.
     pub fn process_mut(&mut self, v: NodeId) -> &mut P {
-        self.procs.get_mut(&v).expect("process of dead node")
+        self.procs[v.index()]
+            .as_mut()
+            .expect("process of dead node")
     }
 
-    /// Live node IDs.
+    /// Live node IDs in ascending order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.procs.keys().copied()
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| NodeId(i as u32))
     }
 
     /// Number of live nodes.
     pub fn len(&self) -> usize {
-        self.procs.len()
+        self.live
     }
 
     /// True when every node is dead.
     pub fn is_empty(&self) -> bool {
-        self.procs.is_empty()
+        self.live == 0
     }
 
     /// Current round number.
@@ -150,105 +257,202 @@ impl<P: Process> Network<P> {
         self.round
     }
 
-    /// Total messages delivered since construction.
-    pub fn total_messages(&self) -> usize {
-        self.total_messages
+    /// The in-flight mail policy applied on node deletion.
+    pub fn in_flight_policy(&self) -> InFlightPolicy {
+        self.policy
     }
 
-    /// Per-node total messages (sent + received).
-    pub fn per_node_messages(&self) -> &BTreeMap<NodeId, usize> {
-        &self.per_node_messages
+    /// Changes the in-flight mail policy for subsequent deletions.
+    pub fn set_in_flight_policy(&mut self, policy: InFlightPolicy) {
+        self.policy = policy;
+    }
+
+    /// The message ledger every statistic derives from.
+    pub fn ledger(&self) -> &MsgLedger {
+        &self.ledger
+    }
+
+    /// Total messages delivered since construction (notices included).
+    pub fn total_messages(&self) -> usize {
+        self.ledger.total_messages() as usize
+    }
+
+    /// Total messages charged to `v` (delivery-side: delivered sends +
+    /// receipts + deletion notices).
+    pub fn per_node_messages(&self, v: NodeId) -> u64 {
+        self.ledger.per_node(v)
     }
 
     /// Are messages waiting for delivery?
     pub fn has_pending(&self) -> bool {
-        !self.mailbox.is_empty()
+        self.pending > 0
+    }
+
+    /// Verifies the ledger identities against the live queue state; see
+    /// [`MsgLedger::check`].
+    pub fn check_accounting(&self) -> Result<(), String> {
+        self.ledger.check(self.pending as u64)
     }
 
     /// Runs `on_start` on every process and applies side effects (round 0).
     pub fn start(&mut self) -> RoundStats {
-        let ids: Vec<NodeId> = self.procs.keys().copied().collect();
-        let mut outbox = Vec::new();
-        let mut adds = Vec::new();
-        let mut drops = Vec::new();
-        for v in ids {
-            let mut ctx = Ctx {
-                me: v,
-                round: self.round,
-                outbox: &mut outbox,
-                edge_adds: &mut adds,
-                edge_drops: &mut drops,
-            };
-            self.procs.get_mut(&v).expect("live").on_start(&mut ctx);
+        {
+            let Network {
+                procs,
+                outbox,
+                edge_adds,
+                edge_drops,
+                round,
+                ..
+            } = self;
+            for (i, slot) in procs.iter_mut().enumerate() {
+                if let Some(p) = slot.as_mut() {
+                    let mut ctx = Ctx {
+                        me: NodeId(i as u32),
+                        round: *round,
+                        outbox: &mut *outbox,
+                        edge_adds: &mut *edge_adds,
+                        edge_drops: &mut *edge_drops,
+                    };
+                    p.on_start(&mut ctx);
+                }
+            }
         }
-        self.finish_round(outbox, adds, drops, 0)
+        self.finish_round(0)
     }
 
     /// Deletes `v` (the adversary's move): removes it from the topology,
-    /// discards its pending mail, and informs its surviving neighbors, whose
+    /// discards its pending mail (and, under [`InFlightPolicy::Drop`], the
+    /// mail it already sent), and informs its surviving neighbors, whose
     /// immediate reactions are queued for the next round.
     ///
     /// # Panics
     /// Panics if `v` is dead.
     pub fn delete_node(&mut self, v: NodeId) -> RoundStats {
-        assert!(self.procs.contains_key(&v), "{v:?} already dead");
+        assert!(
+            self.procs.get(v.index()).is_some_and(|p| p.is_some()),
+            "{v:?} already dead"
+        );
         let neighbors = self.graph.delete_node(v);
-        self.procs.remove(&v);
-        self.mailbox.retain(|(_, to, _)| *to != v);
-        let mut outbox = Vec::new();
-        let mut adds = Vec::new();
-        let mut drops = Vec::new();
-        let mut delivered = 0usize;
-        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for u in neighbors {
-            delivered += 1; // the deletion notice itself
-            *per_node.entry(u).or_insert(0) += 1;
-            let mut ctx = Ctx {
-                me: u,
-                round: self.round,
-                outbox: &mut outbox,
-                edge_adds: &mut adds,
-                edge_drops: &mut drops,
-            };
-            self.procs
-                .get_mut(&u)
-                .expect("surviving neighbor")
-                .on_neighbor_deleted(v, &mut ctx);
+        self.procs[v.index()] = None;
+        self.live -= 1;
+        // Mail addressed to the dead node is lost with it.
+        let purged = self.inboxes[v.index()].len();
+        self.inboxes[v.index()].clear();
+        self.pending -= purged;
+        self.ledger.record_dropped(purged as u64);
+        if self.policy == InFlightPolicy::Drop {
+            // Silence the victim: unsend its queued outbound mail too. Every
+            // non-empty inbox is on the hot list, so this touches only
+            // addressees with pending mail.
+            let Network {
+                inboxes,
+                hot,
+                pending,
+                ledger,
+                ..
+            } = self;
+            for &d in hot.iter() {
+                let inbox = &mut inboxes[d.index()];
+                let before = inbox.len();
+                inbox.retain(|(from, _)| *from != v);
+                let removed = before - inbox.len();
+                *pending -= removed;
+                ledger.record_dropped(removed as u64);
+            }
         }
-        let mut stats = self.finish_round(outbox, adds, drops, delivered);
-        stats.max_per_node = stats
-            .max_per_node
-            .max(per_node.values().max().copied().unwrap_or(0));
-        stats
+        let mut delivered = 0usize;
+        {
+            let Network {
+                procs,
+                outbox,
+                edge_adds,
+                edge_drops,
+                round,
+                round_load,
+                touched,
+                ledger,
+                ..
+            } = self;
+            for &u in &neighbors {
+                delivered += 1; // the deletion notice itself
+                ledger.record_notice(u);
+                bump_load(round_load, touched, u);
+                let mut ctx = Ctx {
+                    me: u,
+                    round: *round,
+                    outbox: &mut *outbox,
+                    edge_adds: &mut *edge_adds,
+                    edge_drops: &mut *edge_drops,
+                };
+                procs[u.index()]
+                    .as_mut()
+                    .expect("surviving neighbor")
+                    .on_neighbor_deleted(v, &mut ctx);
+            }
+        }
+        self.finish_round(delivered)
     }
 
     /// Delivers all queued messages (one synchronous round).
     pub fn step(&mut self) -> RoundStats {
-        let mail = std::mem::take(&mut self.mailbox);
-        let mut outbox = Vec::new();
-        let mut adds = Vec::new();
-        let mut drops = Vec::new();
+        let mut hot = std::mem::take(&mut self.hot_spare);
+        debug_assert!(hot.is_empty());
+        std::mem::swap(&mut self.hot, &mut hot);
         let mut delivered = 0usize;
-        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for (from, to, msg) in mail {
-            let Some(proc_) = self.procs.get_mut(&to) else {
-                continue; // addressee died; message lost with it
-            };
-            delivered += 1;
-            *per_node.entry(from).or_insert(0) += 1;
-            *per_node.entry(to).or_insert(0) += 1;
-            let mut ctx = Ctx {
-                me: to,
-                round: self.round,
-                outbox: &mut outbox,
-                edge_adds: &mut adds,
-                edge_drops: &mut drops,
-            };
-            proc_.on_message(from, msg, &mut ctx);
+        {
+            let Network {
+                procs,
+                inboxes,
+                outbox,
+                edge_adds,
+                edge_drops,
+                round,
+                round_load,
+                touched,
+                pending,
+                ledger,
+                ..
+            } = self;
+            for &to in &hot {
+                // A hot entry can be stale: the addressee died and its inbox
+                // was purged. Nothing to deliver then.
+                if inboxes[to.index()].is_empty() {
+                    continue;
+                }
+                let mut mail = std::mem::take(&mut inboxes[to.index()]);
+                *pending -= mail.len();
+                match procs[to.index()].as_mut() {
+                    None => {
+                        // Unreachable (deletion purges the inbox), but the
+                        // books must balance even if it ever fires.
+                        ledger.record_dropped(mail.len() as u64);
+                        mail.clear();
+                    }
+                    Some(p) => {
+                        for (from, msg) in mail.drain(..) {
+                            delivered += 1;
+                            ledger.record_delivery(from, to);
+                            bump_load(round_load, touched, from);
+                            bump_load(round_load, touched, to);
+                            let mut ctx = Ctx {
+                                me: to,
+                                round: *round,
+                                outbox: &mut *outbox,
+                                edge_adds: &mut *edge_adds,
+                                edge_drops: &mut *edge_drops,
+                            };
+                            p.on_message(from, msg, &mut ctx);
+                        }
+                    }
+                }
+                // Hand the (empty, capacity-retaining) buffer back.
+                inboxes[to.index()] = mail;
+            }
         }
-        let mut stats = self.finish_round(outbox, adds, drops, delivered);
-        stats.max_per_node = per_node.values().max().copied().unwrap_or(0);
-        stats
+        hot.clear();
+        self.hot_spare = hot;
+        self.finish_round(delivered)
     }
 
     /// Steps until no messages are pending; returns the number of rounds
@@ -267,45 +471,78 @@ impl<P: Process> Network<P> {
             );
             let s = self.step();
             rounds += 1;
-            merged.messages += s.messages;
-            merged.max_per_node = merged.max_per_node.max(s.max_per_node);
-            merged.edges_added += s.edges_added;
-            merged.edges_removed += s.edges_removed;
+            merged.merge(&s);
         }
         (rounds, merged)
     }
 
-    fn finish_round(
-        &mut self,
-        outbox: Vec<(NodeId, NodeId, P::Msg)>,
-        adds: Vec<(NodeId, NodeId)>,
-        drops: Vec<(NodeId, NodeId)>,
-        delivered: usize,
-    ) -> RoundStats {
+    /// Closes a round: routes the outbox into next round's inboxes, applies
+    /// edge changes (drops of pre-existing edges first, then adds), folds
+    /// the per-round load into the stats, and advances the clock.
+    fn finish_round(&mut self, delivered: usize) -> RoundStats {
         let mut stats = RoundStats {
             messages: delivered,
             ..RoundStats::default()
         };
-        self.total_messages += delivered;
-        for (from, to, _) in &outbox {
-            *self.per_node_messages.entry(*from).or_insert(0) += 1;
-            *self.per_node_messages.entry(*to).or_insert(0) += 1;
-        }
-        self.mailbox.extend(outbox);
-        for (a, b) in adds {
-            if a != b
-                && self.graph.is_alive(a)
-                && self.graph.is_alive(b)
-                && !self.graph.has_edge(a, b)
-            {
-                self.graph.add_edge(a, b);
-                stats.edges_added += 1;
+        {
+            let Network {
+                procs,
+                inboxes,
+                outbox,
+                hot,
+                pending,
+                ledger,
+                ..
+            } = self;
+            for (from, to, msg) in outbox.drain(..) {
+                ledger.record_sent();
+                if to.index() < procs.len() && procs[to.index()].is_some() {
+                    let inbox = &mut inboxes[to.index()];
+                    if inbox.is_empty() {
+                        hot.push(to);
+                    }
+                    inbox.push((from, msg));
+                    *pending += 1;
+                } else {
+                    // addressee is dead at send time; dropped on the floor
+                    ledger.record_dropped(1);
+                }
             }
         }
-        for (a, b) in drops {
-            if self.graph.remove_edge(a, b) {
-                stats.edges_removed += 1;
+        {
+            // Drops first: a drop can only remove a pre-existing edge, so an
+            // add requested in the same round always wins.
+            let Network {
+                graph,
+                edge_adds,
+                edge_drops,
+                ..
+            } = self;
+            for (a, b) in edge_drops.drain(..) {
+                if graph.remove_edge(a, b) {
+                    stats.edges_removed += 1;
+                }
             }
+            for (a, b) in edge_adds.drain(..) {
+                if a != b && graph.is_alive(a) && graph.is_alive(b) && !graph.has_edge(a, b) {
+                    graph.add_edge(a, b);
+                    stats.edges_added += 1;
+                }
+            }
+        }
+        {
+            let Network {
+                round_load,
+                touched,
+                ..
+            } = self;
+            let mut max = 0u32;
+            for &v in touched.iter() {
+                max = max.max(round_load[v.index()]);
+                round_load[v.index()] = 0;
+            }
+            touched.clear();
+            stats.max_per_node = max as usize;
         }
         self.round += 1;
         stats
@@ -316,6 +553,7 @@ impl<P: Process> Network<P> {
 mod tests {
     use super::*;
     use ft_graph::gen;
+    use std::collections::BTreeMap;
 
     /// Simple flood protocol: on start the initiator floods a token; each
     /// node forwards it to all neighbors once.
@@ -369,6 +607,7 @@ mod tests {
         for v in net.nodes().collect::<Vec<_>>() {
             assert!(net.process(v).seen, "{v:?} not reached");
         }
+        net.check_accounting().expect("books balance");
     }
 
     #[test]
@@ -379,6 +618,11 @@ mod tests {
         net.delete_node(NodeId(1)); // the flood's only path
         let (_, _) = net.run_until_quiet(10);
         assert!(!net.process(NodeId(2)).seen, "message crossed a dead node");
+        assert!(
+            net.ledger().dropped() > 0,
+            "the purged mail is on the books"
+        );
+        net.check_accounting().expect("books balance");
     }
 
     #[test]
@@ -431,5 +675,123 @@ mod tests {
         let (rounds, _) = net.run_until_quiet(50);
         // ecc of a node in C8 is 4; one extra echo round
         assert_eq!(rounds, 5);
+    }
+
+    /// One-shot sender used by the in-flight policy tests.
+    #[derive(Debug)]
+    struct OneShot {
+        target: Option<NodeId>,
+        received: usize,
+    }
+
+    impl Process for OneShot {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if let Some(t) = self.target {
+                ctx.send(t, ());
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {
+            self.received += 1;
+        }
+    }
+
+    fn one_shot_net(policy: InFlightPolicy) -> Network<OneShot> {
+        let g = gen::path(2);
+        Network::with_policy(g, policy, |v| OneShot {
+            target: (v == NodeId(0)).then_some(NodeId(1)),
+            received: 0,
+        })
+    }
+
+    #[test]
+    fn dead_senders_mail_is_delivered_by_default() {
+        let mut net = one_shot_net(InFlightPolicy::Deliver);
+        net.start();
+        net.delete_node(NodeId(0)); // sender dies with mail in flight
+        net.run_until_quiet(4);
+        assert_eq!(net.process(NodeId(1)).received, 1, "wire kept the packet");
+        assert_eq!(net.ledger().dropped(), 0);
+        net.check_accounting().expect("books balance");
+    }
+
+    #[test]
+    fn drop_policy_silences_dead_senders() {
+        let mut net = one_shot_net(InFlightPolicy::Drop);
+        net.start();
+        net.delete_node(NodeId(0));
+        net.run_until_quiet(4);
+        assert_eq!(net.process(NodeId(1)).received, 0, "victim was silenced");
+        assert_eq!(net.ledger().dropped(), 1, "the unsent mail is on the books");
+        net.check_accounting().expect("books balance");
+    }
+
+    /// Requests a set of edge adds/drops on start (ordering tests).
+    #[derive(Debug)]
+    struct EdgeScript {
+        adds: Vec<NodeId>,
+        drops: Vec<NodeId>,
+    }
+
+    impl Process for EdgeScript {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            for &u in &self.adds {
+                ctx.add_edge(u);
+            }
+            for &u in &self.drops {
+                ctx.drop_edge(u);
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+    }
+
+    #[test]
+    fn same_round_add_and_drop_of_a_fresh_edge_nets_to_present() {
+        // the edge does not pre-exist: the drop is a no-op, the add lands
+        let g = ft_graph::Graph::new(2);
+        let mut net = Network::new(g, |v| EdgeScript {
+            adds: (v == NodeId(0)).then_some(NodeId(1)).into_iter().collect(),
+            drops: (v == NodeId(0)).then_some(NodeId(1)).into_iter().collect(),
+        });
+        let stats = net.start();
+        assert!(net.graph().has_edge(NodeId(0), NodeId(1)), "add wins");
+        assert_eq!((stats.edges_added, stats.edges_removed), (1, 0));
+    }
+
+    #[test]
+    fn same_round_add_and_drop_of_an_existing_edge_nets_to_present() {
+        // the edge pre-exists: the drop removes it first, then the add lands
+        let g = ft_graph::Graph::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(g, |v| EdgeScript {
+            adds: (v == NodeId(1)).then_some(NodeId(0)).into_iter().collect(),
+            drops: (v == NodeId(0)).then_some(NodeId(1)).into_iter().collect(),
+        });
+        let stats = net.start();
+        assert!(net.graph().has_edge(NodeId(0), NodeId(1)), "add wins");
+        assert_eq!((stats.edges_added, stats.edges_removed), (1, 1));
+    }
+
+    #[test]
+    fn notices_are_in_both_books() {
+        let g = gen::star(5);
+        let mut net = flood_net(g, NodeId(1));
+        net.start();
+        net.delete_node(NodeId(0)); // hub: 4 surviving neighbors notified
+        net.run_until_quiet(10);
+        let ledger = net.ledger();
+        assert_eq!(ledger.notices(), 4);
+        for v in [1u32, 2, 3, 4] {
+            assert!(
+                ledger.per_node_received(NodeId(v)) >= 1,
+                "n{v}'s notice is in the per-node book"
+            );
+        }
+        assert_eq!(
+            ledger.sum_per_node(),
+            2 * ledger.total_messages() - ledger.notices(),
+            "the reconciliation identity"
+        );
+        net.check_accounting().expect("books balance");
     }
 }

@@ -5,13 +5,17 @@
 //!               --healer forgiving-tree --fraction 0.75 [--dot] [--csv]
 //! ftree scaling --healer line --adversary diameter-greedy
 //! ftree duel    --workload star:128
+//! ftree stress  --nodes 100000 --deletions 1000 --wave 50 \
+//!               --planner heavy-tail --seed 42 --out BENCH_sim.json
 //! ftree help
 //! ```
 //!
 //! Workload syntax: `path:N`, `star:N`, `kary<K>:N`, `caterpillar:SxL`,
 //! `broom:H+B`, `random:N#SEED`, `pref:N#SEED`.
 
-use forgiving_tree::metrics::{log_log_slope, run_trial, Table, TrialConfig, Workload};
+use forgiving_tree::metrics::{
+    log_log_slope, run_stress, run_trial, StressConfig, Table, TrialConfig, Workload,
+};
 use forgiving_tree::prelude::*;
 use std::process::exit;
 
@@ -19,10 +23,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  ftree attack  --workload W --adversary A --healer H [--fraction F] [--dot] [--csv]\n  \
          ftree scaling --healer H --adversary A\n  \
-         ftree duel    --workload W\n\n\
+         ftree duel    --workload W\n  \
+         ftree stress  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--seed S] [--out FILE]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
-         healers   : forgiving-tree surrogate line binary-tree no-heal"
+         healers   : forgiving-tree surrogate line binary-tree no-heal\n\
+         planners  : random targeted heavy-tail (wave planners for `stress`)"
     );
     exit(2);
 }
@@ -198,12 +204,49 @@ fn cmd_duel(args: &[String]) {
     table.print();
 }
 
+fn cmd_stress(args: &[String]) {
+    let num = |flag: &str, default: usize| -> usize {
+        flag_value(args, flag)
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    };
+    let defaults = StressConfig::default();
+    let planner = flag_value(args, "--planner").unwrap_or("random");
+    if forgiving_tree::prelude::make_wave_planner(planner, 0).is_none() {
+        eprintln!("unknown wave planner: {planner}");
+        usage();
+    }
+    let cfg = StressConfig {
+        nodes: num("--nodes", defaults.nodes),
+        deletions: num("--deletions", defaults.deletions),
+        wave_size: num("--wave", defaults.wave_size),
+        arity: num("--arity", defaults.arity),
+        planner: planner.into(),
+        seed: num("--seed", defaults.seed as usize) as u64,
+    };
+    // run_stress panics (non-zero exit) on ledger imbalance or a heal that
+    // fails to quiesce — exactly the signals CI must treat as failures.
+    let rec = run_stress(&cfg);
+    println!("{}", rec.summary());
+    println!(
+        "  ledger: sent {} = delivered {} + dropped {} (+0 in flight) | notices {} | total {}",
+        rec.sent, rec.delivered, rec.dropped, rec.notices, rec.total_messages
+    );
+    let out = flag_value(args, "--out").unwrap_or("BENCH_sim.json");
+    std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("attack") => cmd_attack(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("duel") => cmd_duel(&args[1..]),
+        Some("stress") => cmd_stress(&args[1..]),
         _ => usage(),
     }
 }

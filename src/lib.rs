@@ -54,8 +54,9 @@ pub use ft_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use ft_adversary::{
-        Adversary, AdversaryView, DiameterGreedy, HeirHunter, HighestDegreeAdversary, HubSiphon,
-        LowestDegreeAdversary, RandomAdversary, RootAdversary,
+        make_wave_planner, Adversary, AdversaryView, DiameterGreedy, HeavyTailWave, HeirHunter,
+        HighestDegreeAdversary, HubSiphon, LowestDegreeAdversary, RandomAdversary, RandomWave,
+        RootAdversary, TargetedWave, WavePlanner,
     };
     pub use ft_baselines::{
         BinaryTreeHealer, ForgivingHealer, LineHealer, NoHeal, SelfHealer, SurrogateHealer,
@@ -64,6 +65,11 @@ pub mod prelude {
     pub use ft_core::{ForgivingTree, HealReport, HealStats, RoleKind};
     pub use ft_graph::tree::RootedTree;
     pub use ft_graph::{gen, Graph, NodeId};
-    pub use ft_metrics::{run_trial, Table, Trial, TrialConfig, Workload};
+    pub use ft_metrics::{
+        run_stress, run_trial, StressConfig, StressRecord, Table, Trial, TrialConfig, Workload,
+    };
     pub use ft_sim::bfs::distributed_bfs_tree;
+    pub use ft_sim::{
+        Campaign, CampaignConfig, CampaignReport, HealCadence, InFlightPolicy, MsgLedger,
+    };
 }
