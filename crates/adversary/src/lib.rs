@@ -21,10 +21,15 @@
 //! - [`DiameterGreedy`] — one-step lookahead diameter maximizer (the
 //!   strongest but slowest; used at small n to exhibit the Θ(n) diameter
 //!   blow-ups of line/binary-tree healing).
+//!
+//! Batched attacks come in two flavors: deletion-only [`WavePlanner`]s
+//! (`random`/`targeted`/`heavy-tail`) for the Forgiving Tree campaigns, and
+//! mixed insert/delete [`ChurnPlanner`]s (`mixed`/`surge`) for the
+//! Forgiving Graph's full adversarial model.
 
 use ft_core::ForgivingTree;
 use ft_graph::bfs::diameter_double_sweep;
-use ft_graph::{Graph, NodeId};
+use ft_graph::{ChurnEvent, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::{IteratorRandom, SliceRandom};
 use rand::{Rng, SeedableRng};
@@ -340,6 +345,140 @@ pub fn make_wave_planner(name: &str, seed: u64) -> Option<Box<dyn WavePlanner>> 
     }
 }
 
+// ---------------------------------------------------------------------
+// churn planners — mixed insert/delete waves (the Forgiving Graph model)
+// ---------------------------------------------------------------------
+
+/// Plans a wave of interleaved insertions and deletions against one
+/// topology snapshot, for `ft_sim::Campaign::run_churn_wave`. The Forgiving
+/// Graph's adversary (arXiv:0902.2501) may do both per time step; a planner
+/// nominates up to `k` events at once.
+///
+/// Deletion victims must be distinct and alive in the snapshot; insertion
+/// anchors must be alive (the campaign driver re-filters anchors killed
+/// earlier in the same wave).
+pub trait ChurnPlanner {
+    /// Short name for tables and perf records.
+    fn name(&self) -> &'static str;
+
+    /// Plans up to `k` events; an empty plan stops the campaign.
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<ChurnEvent>;
+}
+
+/// Per-event coin flip between a uniform-random deletion and an insertion
+/// anchored at 1–3 uniform-random live nodes (seeded, reproducible) — the
+/// steady churn of a living overlay.
+#[derive(Debug)]
+pub struct MixedChurn {
+    rng: StdRng,
+    /// Probability that an event is an insertion.
+    pub insert_fraction: f64,
+}
+
+impl MixedChurn {
+    /// Creates the planner from a seed with the given insertion fraction
+    /// (clamped to `[0, 1]`).
+    pub fn new(seed: u64, insert_fraction: f64) -> Self {
+        MixedChurn {
+            rng: StdRng::seed_from_u64(seed),
+            insert_fraction: insert_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    fn plan_insert(rng: &mut StdRng, live: &[NodeId]) -> ChurnEvent {
+        let arity = rng.gen_range(1..=3usize.min(live.len()));
+        let mut anchors: Vec<NodeId> = Vec::with_capacity(arity);
+        while anchors.len() < arity {
+            let c = live[rng.gen_range(0..live.len())];
+            if !anchors.contains(&c) {
+                anchors.push(c);
+            }
+        }
+        ChurnEvent::Insert { neighbors: anchors }
+    }
+}
+
+impl ChurnPlanner for MixedChurn {
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<ChurnEvent> {
+        let mut live: Vec<NodeId> = view.graph.nodes().collect();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            if live.is_empty() {
+                break;
+            }
+            if self.rng.gen_bool(self.insert_fraction) || live.len() <= 2 {
+                out.push(Self::plan_insert(&mut self.rng, &live));
+            } else {
+                let i = self.rng.gen_range(0..live.len());
+                out.push(ChurnEvent::Delete(live.swap_remove(i)));
+            }
+        }
+        out
+    }
+}
+
+/// Burst churn: the wave's insertions all land first (a membership surge),
+/// then the deletions strike — the flash-crowd-then-crash pattern that
+/// stresses freshly joined nodes' wills.
+#[derive(Debug)]
+pub struct SurgeChurn {
+    rng: StdRng,
+    /// Fraction of each wave that is insertions.
+    pub insert_fraction: f64,
+}
+
+impl SurgeChurn {
+    /// Creates the planner from a seed with the given insertion fraction
+    /// (clamped to `[0, 1]`).
+    pub fn new(seed: u64, insert_fraction: f64) -> Self {
+        SurgeChurn {
+            rng: StdRng::seed_from_u64(seed),
+            insert_fraction: insert_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl ChurnPlanner for SurgeChurn {
+    fn name(&self) -> &'static str {
+        "surge"
+    }
+
+    fn plan(&mut self, view: AdversaryView<'_>, k: usize) -> Vec<ChurnEvent> {
+        let mut live: Vec<NodeId> = view.graph.nodes().collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let inserts = ((k as f64) * self.insert_fraction).round() as usize;
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..inserts {
+            out.push(MixedChurn::plan_insert(&mut self.rng, &live));
+        }
+        while out.len() < k && live.len() > 2 {
+            let i = self.rng.gen_range(0..live.len());
+            out.push(ChurnEvent::Delete(live.swap_remove(i)));
+        }
+        out
+    }
+}
+
+/// Builds a churn planner by name (`mixed`, `surge`) with the given
+/// insertion fraction.
+pub fn make_churn_planner(
+    name: &str,
+    seed: u64,
+    insert_fraction: f64,
+) -> Option<Box<dyn ChurnPlanner>> {
+    match name {
+        "mixed" => Some(Box::new(MixedChurn::new(seed, insert_fraction))),
+        "surge" => Some(Box::new(SurgeChurn::new(seed, insert_fraction))),
+        _ => None,
+    }
+}
+
 /// Convenience: every strategy boxed, for sweeps.
 pub fn standard_suite(seed: u64) -> Vec<Box<dyn Adversary>> {
     vec![
@@ -496,6 +635,61 @@ mod tests {
             }
         }
         assert!(hub_hits > 40, "hub planned in {hub_hits}/50 waves");
+    }
+
+    #[test]
+    fn churn_planners_mix_inserts_and_deletes() {
+        let g = gen::kary_tree(50, 3);
+        for name in ["mixed", "surge"] {
+            let mut p = make_churn_planner(name, 4, 0.5).expect("known planner");
+            let plan = p.plan(view(&g), 20);
+            assert_eq!(plan.len(), 20, "{name} fills the wave");
+            let inserts = plan
+                .iter()
+                .filter(|e| matches!(e, ChurnEvent::Insert { .. }))
+                .count();
+            assert!(inserts > 0, "{name} plans insertions");
+            assert!(inserts < 20, "{name} plans deletions");
+            let mut victims = std::collections::BTreeSet::new();
+            for e in &plan {
+                match e {
+                    ChurnEvent::Delete(v) => {
+                        assert!(g.is_alive(*v), "{name} victim alive");
+                        assert!(victims.insert(*v), "{name} victims distinct");
+                    }
+                    ChurnEvent::Insert { neighbors } => {
+                        assert!(!neighbors.is_empty(), "{name} anchored insert");
+                        assert!(neighbors.len() <= 3);
+                        assert!(neighbors.iter().all(|&u| g.is_alive(u)));
+                    }
+                }
+            }
+        }
+        assert!(make_churn_planner("nope", 0, 0.5).is_none());
+    }
+
+    #[test]
+    fn churn_planners_are_deterministic_per_seed() {
+        let g = gen::kary_tree(30, 2);
+        for name in ["mixed", "surge"] {
+            let mut a = make_churn_planner(name, 9, 0.4).unwrap();
+            let mut b = make_churn_planner(name, 9, 0.4).unwrap();
+            assert_eq!(a.plan(view(&g), 11), b.plan(view(&g), 11), "{name}");
+        }
+    }
+
+    #[test]
+    fn surge_fronts_the_insertions() {
+        let g = gen::kary_tree(40, 2);
+        let plan = SurgeChurn::new(1, 0.3).plan(view(&g), 10);
+        let first_delete = plan
+            .iter()
+            .position(|e| matches!(e, ChurnEvent::Delete(_)))
+            .expect("has deletions");
+        assert_eq!(first_delete, 3, "30% of 10 inserts land first");
+        assert!(plan[first_delete..]
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Delete(_))));
     }
 
     #[test]

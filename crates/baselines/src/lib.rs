@@ -14,11 +14,13 @@
 //!   [`BinaryTreeHealer`].
 //!
 //! All strategies implement [`SelfHealer`], as do [`ForgivingHealer`] (the
-//! paper's data structure) and [`NoHeal`] (a do-nothing reference), so the
+//! paper's data structure), [`ForgivingGraphHealer`] (the successor
+//! paper's insert/delete healer, differential-comparable on the same
+//! deletion sweeps), and [`NoHeal`] (a do-nothing reference), so the
 //! experiment harness can sweep them uniformly. Experiment E5 regenerates
 //! the quoted blow-ups.
 
-use ft_core::{ForgivingTree, HealReport};
+use ft_core::{ForgivingGraph, ForgivingTree, HealReport};
 use ft_graph::tree::RootedTree;
 use ft_graph::{Graph, NodeId};
 
@@ -252,6 +254,17 @@ impl SelfHealer for BinaryTreeHealer {
 }
 
 /// The paper's data structure behind the [`SelfHealer`] interface.
+///
+/// ```
+/// use ft_baselines::{ForgivingHealer, SelfHealer};
+/// use ft_graph::{gen, NodeId};
+///
+/// let mut h = ForgivingHealer::from_tree_graph(&gen::kary_tree(40, 3), NodeId(0));
+/// h.delete(NodeId(0));
+/// h.delete(NodeId(1));
+/// assert!(h.graph().is_connected());
+/// assert!(h.max_degree_increase() <= 3); // Theorem 1.1
+/// ```
 #[derive(Clone, Debug)]
 pub struct ForgivingHealer {
     ft: ForgivingTree,
@@ -302,6 +315,69 @@ impl SelfHealer for ForgivingHealer {
 
     fn as_forgiving(&self) -> Option<&ForgivingTree> {
         Some(&self.ft)
+    }
+}
+
+/// The Forgiving Graph (haft-based insert/delete healer) behind the
+/// [`SelfHealer`] interface — the deletion-only view the sweep harness
+/// drives; [`ForgivingGraphHealer::inner_mut`] exposes the insertion moves.
+///
+/// Unlike [`ForgivingHealer`] it accepts *any* connected graph, not just a
+/// rooted tree, and measures degree increase against the pristine baseline
+/// (all insertions, no deletions).
+///
+/// ```
+/// use ft_baselines::{ForgivingGraphHealer, SelfHealer};
+/// use ft_graph::{gen, NodeId};
+///
+/// let mut h = ForgivingGraphHealer::new(gen::star(12));
+/// h.delete(NodeId(0));
+/// assert!(h.graph().is_connected());
+/// assert!(h.max_degree_increase() <= 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ForgivingGraphHealer {
+    fg: ForgivingGraph,
+}
+
+impl ForgivingGraphHealer {
+    /// Arms the Forgiving Graph over an initial network.
+    pub fn new(graph: Graph) -> Self {
+        ForgivingGraphHealer {
+            fg: ForgivingGraph::new(&graph),
+        }
+    }
+
+    /// Access to the underlying structure (adversary introspection).
+    pub fn inner(&self) -> &ForgivingGraph {
+        &self.fg
+    }
+
+    /// Mutable access, for the insertion moves ([`ForgivingGraph::insert_node`]).
+    pub fn inner_mut(&mut self) -> &mut ForgivingGraph {
+        &mut self.fg
+    }
+}
+
+impl SelfHealer for ForgivingGraphHealer {
+    fn name(&self) -> &'static str {
+        "forgiving-graph"
+    }
+
+    fn graph(&self) -> &Graph {
+        self.fg.graph()
+    }
+
+    fn delete(&mut self, v: NodeId) -> HealReport {
+        self.fg.delete(v)
+    }
+
+    fn degree_increase(&self, v: NodeId) -> i64 {
+        self.fg.degree_increase(v)
+    }
+
+    fn max_degree_increase(&self) -> i64 {
+        self.fg.max_degree_increase()
     }
 }
 
@@ -392,6 +468,22 @@ mod tests {
     }
 
     #[test]
+    fn forgiving_graph_healer_handles_general_graphs() {
+        // a graph no tree healer accepts: cycle plus chords
+        let mut g = gen::cycle(12);
+        g.add_edge(n(0), n(6));
+        g.add_edge(n(3), n(9));
+        let mut h = ForgivingGraphHealer::new(g);
+        h.inner_mut().insert_node(&[n(1), n(7)]);
+        for v in [0u32, 6, 3, 12] {
+            h.delete(n(v));
+            assert!(h.graph().is_connected());
+        }
+        assert_eq!(h.name(), "forgiving-graph");
+        h.inner().validate();
+    }
+
+    #[test]
     fn all_healers_keep_connectivity_under_random_attack() {
         use rand::rngs::StdRng;
         use rand::seq::SliceRandom;
@@ -406,6 +498,7 @@ mod tests {
             Box::new(LineHealer::new(g.clone())),
             Box::new(BinaryTreeHealer::new(g.clone())),
             Box::new(ForgivingHealer::new(&t)),
+            Box::new(ForgivingGraphHealer::new(g.clone())),
         ];
         for h in &mut healers {
             for &v in order.iter().take(35) {

@@ -1,14 +1,22 @@
-//! Scale stress benchmark: the full 10⁵-node adversarial campaign on the
-//! message-level distributed engine, emitting `BENCH_sim.json`.
+//! Scale stress benchmark: the full adversarial campaigns on the
+//! message-level distributed engines, emitting `BENCH_sim.json` and
+//! `BENCH_graph.json`.
 //!
-//! Runs the three wave planners (random, targeted, heavy-tail) back to
-//! back at the default scale (n = 100 000, 1 000 deletions in waves of 50)
-//! and writes the perf record of the *random* campaign — the reference
-//! configuration — to `BENCH_sim.json` in the working directory. Override
-//! the scale with `STRESS_NODES` / `STRESS_DELETIONS` (used by CI's
-//! smoke-scale run).
+//! **Tree model** — runs the three wave planners (random, targeted,
+//! heavy-tail) back to back at the default scale (n = 100 000, 1 000
+//! deletions in waves of 50) and writes the perf record of the *random*
+//! campaign — the reference configuration — to `BENCH_sim.json`.
+//!
+//! **Graph model** — runs the Forgiving Graph's mixed insert/delete churn
+//! campaign (default n = 10 000, 2 000 events, 40% insertions) and writes
+//! `BENCH_graph.json`; the run itself asserts balanced ledgers, consistent
+//! wills, and the O(log n) stretch/degree bounds.
+//!
+//! Override the scales with `STRESS_NODES` / `STRESS_DELETIONS` /
+//! `STRESS_WAVE` / `STRESS_GRAPH_NODES` / `STRESS_GRAPH_EVENTS` (used by
+//! CI's smoke-scale run).
 
-use ft_metrics::{run_stress, StressConfig};
+use ft_metrics::{run_graph_stress, run_stress, GraphStressConfig, StressConfig};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -40,4 +48,15 @@ fn main() {
     let rec = reference.expect("random campaign ran");
     std::fs::write("BENCH_sim.json", rec.to_json()).expect("write BENCH_sim.json");
     println!("wrote BENCH_sim.json");
+
+    let graph_cfg = GraphStressConfig {
+        nodes: env_usize("STRESS_GRAPH_NODES", 10_000),
+        events: env_usize("STRESS_GRAPH_EVENTS", 2_000),
+        wave_size,
+        ..GraphStressConfig::default()
+    };
+    let graph_rec = run_graph_stress(&graph_cfg);
+    println!("{}", graph_rec.summary());
+    std::fs::write("BENCH_graph.json", graph_rec.to_json()).expect("write BENCH_graph.json");
+    println!("wrote BENCH_graph.json");
 }

@@ -1,0 +1,497 @@
+//! The Forgiving Graph — healing interleaved insertions *and* deletions.
+//!
+//! Implements the successor paper's data structure (*"The Forgiving Graph: a
+//! distributed data structure for low stretch under adversarial attack"*,
+//! Hayes–Saia–Trehan, arXiv:0902.2501) at spec level, alongside the
+//! Forgiving Tree's RT/will machinery:
+//!
+//! - the adversary may **insert** a fresh node attached to chosen live
+//!   nodes, or **delete** any live node;
+//! - each deletion is healed by a **reconstruction tree** shaped as a
+//!   *half-full tree* ([`Haft`]) whose leaves are the victim's surviving
+//!   neighbors in ascending-ID order, with each internal helper position
+//!   simulated by a distinct member (the in-order rule: a helper is played
+//!   by the rightmost leaf of its left subtree);
+//! - the guarantees under arbitrary interleavings are **O(log n)** degree
+//!   increase and **O(log n)** stretch against the *pristine* graph — the
+//!   network that would exist had every insertion happened and no deletion
+//!   (paper Theorem 1; [`fg_degree_bound`]/[`fg_stretch_bound`] are the
+//!   bound constants the test-suite enforces).
+//!
+//! [`ForgivingGraph`] is the reference engine: it performs the haft surgery
+//! directly on the healed [`Graph`] while tracking the pristine graph and
+//! analytic message accounting. The message-level implementation lives in
+//! [`crate::fgraph_dist`] and is differential-tested against this engine.
+
+use crate::report::{HealReport, HealStats, Ledger};
+use ft_graph::{Graph, NodeId};
+
+/// Half-full tree (haft) shapes: the reconstruction-tree geometry of the
+/// Forgiving Graph.
+///
+/// A haft over `d` leaves is a binary tree in which every internal node has
+/// exactly two children, all leaves live on the bottom two levels, and the
+/// bottom-level leaves are as far left as possible — so its height is
+/// `⌈log₂ d⌉` and any two hafts merge with at most one level of growth.
+///
+/// The struct is a *shape*: it knows leaf positions `0..d`, not node
+/// identities. Callers order the members (ascending ID) and map positions to
+/// members. Each internal helper position is simulated by a distinct member
+/// via the in-order rule, so the collapsed member-level graph
+/// ([`Haft::member_edges`]) adds at most [`Haft::MAX_MEMBER_DEGREE`] edges
+/// per member while spanning all members with `O(log d)` hops.
+#[derive(Clone, Debug)]
+pub struct Haft {
+    /// Arena of shape nodes; the last entry is the root.
+    nodes: Vec<HaftNode>,
+    /// Number of leaves.
+    leaves: usize,
+}
+
+/// One position of a haft shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HaftNode {
+    /// Leaf position `i` (the `i`-th member in ascending-ID order).
+    Leaf(usize),
+    /// Internal helper with two children (arena indices).
+    Helper {
+        left: usize,
+        right: usize,
+        /// The leaf position simulating this helper (in-order rule:
+        /// rightmost leaf of the left subtree) — distinct per helper.
+        sim: usize,
+    },
+}
+
+impl Haft {
+    /// Largest degree [`Haft::member_edges`] can give a member: one edge as
+    /// a leaf plus at most three as the simulator of one helper.
+    pub const MAX_MEMBER_DEGREE: usize = 4;
+
+    /// Builds the haft shape over `d` leaves.
+    ///
+    /// # Panics
+    /// Panics when `d == 0` — an empty reconstruction tree is meaningless.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "haft over zero leaves");
+        let mut nodes = Vec::with_capacity(2 * d - 1);
+        build(&mut nodes, 0, d);
+        Haft { nodes, leaves: d }
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Height of the shape: `⌈log₂ d⌉`.
+    pub fn height(&self) -> u32 {
+        fn h(nodes: &[HaftNode], i: usize) -> u32 {
+            match nodes[i] {
+                HaftNode::Leaf(_) => 0,
+                HaftNode::Helper { left, right, .. } => 1 + h(nodes, left).max(h(nodes, right)),
+            }
+        }
+        h(&self.nodes, self.nodes.len() - 1)
+    }
+
+    /// The member-level edges of the reconstruction tree: each helper is
+    /// collapsed into its simulating member, self-edges vanish, duplicates
+    /// are removed. Pairs are `(i, j)` leaf positions with `i < j`, sorted.
+    ///
+    /// The result spans all `d` members (the quotient of a tree is
+    /// connected) and gives each member degree ≤ [`Self::MAX_MEMBER_DEGREE`].
+    pub fn member_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(2 * self.leaves);
+        for node in &self.nodes {
+            if let HaftNode::Helper { left, right, sim } = *node {
+                for child in [left, right] {
+                    let c = self.sim_of(child);
+                    if c != sim {
+                        out.push((sim.min(c), sim.max(c)));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The simulating member of an arena position.
+    fn sim_of(&self, i: usize) -> usize {
+        match self.nodes[i] {
+            HaftNode::Leaf(l) => l,
+            HaftNode::Helper { sim, .. } => sim,
+        }
+    }
+}
+
+/// Builds the shape over leaf positions `lo..hi`; returns the arena index of
+/// the subtree root. The split keeps the bottom level left-packed: with
+/// `d > 2` leaves and `h = ⌈log₂ d⌉`, the left subtree takes
+/// `min(2^(h−1), d − 2^(h−2))` leaves.
+fn build(nodes: &mut Vec<HaftNode>, lo: usize, hi: usize) -> usize {
+    let d = hi - lo;
+    if d == 1 {
+        nodes.push(HaftNode::Leaf(lo));
+        return nodes.len() - 1;
+    }
+    let l = if d == 2 {
+        1
+    } else {
+        let h = usize::BITS - (d - 1).leading_zeros(); // ⌈log₂ d⌉
+        let half = 1usize << (h - 1);
+        half.min(d - half / 2)
+    };
+    let left = build(nodes, lo, lo + l);
+    let right = build(nodes, lo + l, hi);
+    // in-order rule: the helper is simulated by the rightmost leaf of its
+    // left subtree, i.e. member position lo + l − 1 — injective per haft.
+    nodes.push(HaftNode::Helper {
+        left,
+        right,
+        sim: lo + l - 1,
+    });
+    nodes.len() - 1
+}
+
+/// The degree-increase bound the Forgiving Graph test-suite enforces:
+/// `3·⌈log₂ n⌉ + 3` for an `n`-slot network (the paper's O(log n), with the
+/// additive slack covering tiny graphs).
+pub fn fg_degree_bound(n: usize) -> i64 {
+    3 * (usize::BITS - (n.max(2) - 1).leading_zeros()) as i64 + 3
+}
+
+/// The stretch bound the Forgiving Graph test-suite enforces:
+/// `⌈log₂ n⌉ + 2` for an `n`-slot network (the paper's O(log n) distance
+/// blow-up against the pristine graph).
+pub fn fg_stretch_bound(n: usize) -> f64 {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) as f64 + 2.0
+}
+
+/// The Forgiving Graph reference engine: haft surgery on the healed graph,
+/// with the pristine graph tracked for stretch/degree baselines.
+///
+/// # Quickstart
+///
+/// ```
+/// use ft_core::fgraph::ForgivingGraph;
+/// use ft_graph::{gen, NodeId};
+///
+/// let mut fg = ForgivingGraph::new(&gen::kary_tree(40, 3));
+///
+/// // the adversary interleaves an insertion and two deletions
+/// let newcomer = fg.insert_node(&[NodeId(4), NodeId(7)]);
+/// fg.delete(NodeId(0));
+/// fg.delete(NodeId(4));
+///
+/// assert!(fg.graph().is_alive(newcomer));
+/// assert!(fg.graph().is_connected());
+/// assert!(fg.max_degree_increase() <= ft_core::fgraph::fg_degree_bound(fg.graph().capacity()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ForgivingGraph {
+    /// The healed network.
+    graph: Graph,
+    /// All insertions, no deletions: the stretch/degree baseline.
+    pristine: Graph,
+    /// Aggregate heal accounting.
+    stats: HealStats,
+    /// Insertions performed.
+    inserts: usize,
+}
+
+impl ForgivingGraph {
+    /// Arms the structure over an initial network (any graph; the paper's
+    /// guarantees assume it is connected).
+    pub fn new(initial: &Graph) -> Self {
+        ForgivingGraph {
+            graph: initial.clone(),
+            pristine: initial.clone(),
+            stats: HealStats::default(),
+            inserts: 0,
+        }
+    }
+
+    /// The current healed network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pristine network: every insertion applied, no deletion — the
+    /// baseline that stretch and degree increase are measured against.
+    pub fn pristine(&self) -> &Graph {
+        &self.pristine
+    }
+
+    /// Aggregate heal statistics.
+    pub fn stats(&self) -> &HealStats {
+        &self.stats
+    }
+
+    /// Insertions performed so far.
+    pub fn inserts(&self) -> usize {
+        self.inserts
+    }
+
+    /// Live node count.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when every node has been deleted.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Live node IDs in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Inserts a fresh node attached to the listed live nodes (the
+    /// adversary's insertion move) and returns its ID. Dead entries in
+    /// `neighbors` are skipped.
+    ///
+    /// # Panics
+    /// Panics when no listed neighbor is alive — the model only admits
+    /// connected arrivals.
+    pub fn insert_node(&mut self, neighbors: &[NodeId]) -> NodeId {
+        let live: Vec<NodeId> = neighbors
+            .iter()
+            .copied()
+            .filter(|&u| self.graph.is_alive(u))
+            .collect();
+        assert!(!live.is_empty(), "insertion with no live neighbor");
+        let v = self.graph.add_node();
+        let pv = self.pristine.add_node();
+        debug_assert_eq!(v, pv, "healed/pristine capacities diverged");
+        for &u in &live {
+            self.graph.add_edge(v, u);
+            self.pristine.add_edge(v, u);
+        }
+        self.inserts += 1;
+        v
+    }
+
+    /// Inserts the edge `{a, b}` (the adversary may also insert edges
+    /// between live nodes). Returns `true` when it was new.
+    pub fn insert_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let fresh = self.graph.add_edge(a, b);
+        if self.pristine.is_alive(a) && self.pristine.is_alive(b) {
+            self.pristine.add_edge(a, b);
+        }
+        fresh
+    }
+
+    /// Deletes `v` (the adversary's move) and heals: the surviving
+    /// neighbors are joined by the member-level edges of the haft over
+    /// them ([`Haft::member_edges`]).
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn delete(&mut self, v: NodeId) -> HealReport {
+        let members = self.graph.delete_node(v); // ascending-ID order
+        let mut ledger = Ledger::new(v, members.len() <= 1);
+        ledger.notify(&members);
+        if members.len() >= 2 {
+            let haft = Haft::new(members.len());
+            for (i, j) in haft.member_edges() {
+                if self.graph.add_edge(members[i], members[j]) {
+                    ledger.edge_added(members[i], members[j]);
+                }
+            }
+            // Will upkeep: each member announces its changed neighborhood
+            // (the lost victim plus any fresh reconnection edges) to every
+            // current neighbor, one batched delta message each — mirroring
+            // the distributed engine's `WillDelta` fan-out.
+            for &m in &members {
+                for u in self.graph.neighbors(m) {
+                    ledger.field_update(m, u);
+                }
+            }
+            ledger.set_rounds(2); // notices+edges, then will deltas land
+        }
+        let report = ledger.finish();
+        self.stats.absorb(&report);
+        report
+    }
+
+    /// Degree increase of live node `v` over the pristine baseline.
+    ///
+    /// # Panics
+    /// Panics if `v` was never a node of this graph.
+    pub fn degree_increase(&self, v: NodeId) -> i64 {
+        self.graph.degree(v) as i64 - self.pristine.degree(v) as i64
+    }
+
+    /// Largest degree increase any live node currently suffers.
+    pub fn max_degree_increase(&self) -> i64 {
+        self.graph
+            .nodes()
+            .map(|v| self.degree_increase(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Full invariant audit: the healed network is connected whenever any
+    /// node survives, capacities agree with the pristine baseline, and the
+    /// degree increase respects [`fg_degree_bound`].
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.graph.capacity(),
+            self.pristine.capacity(),
+            "healed/pristine capacities diverged"
+        );
+        assert!(
+            self.graph.is_connected(),
+            "healed graph disconnected with {} live nodes",
+            self.graph.len()
+        );
+        let bound = fg_degree_bound(self.graph.capacity());
+        let worst = self.max_degree_increase();
+        assert!(
+            worst <= bound,
+            "degree increase {worst} exceeds the O(log n) bound {bound}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Degrees of the member-level haft graph.
+    fn member_degrees(d: usize) -> Vec<usize> {
+        let mut deg = vec![0usize; d];
+        for (i, j) in Haft::new(d).member_edges() {
+            deg[i] += 1;
+            deg[j] += 1;
+        }
+        deg
+    }
+
+    #[test]
+    fn haft_height_is_ceil_log2() {
+        for d in 1..=130 {
+            let h = Haft::new(d).height();
+            let expect = usize::BITS - (d - 1).leading_zeros(); // ⌈log₂ d⌉, 0 for d=1
+            assert_eq!(h, expect, "height of haft({d})");
+        }
+    }
+
+    #[test]
+    fn haft_member_edges_span_and_bound_degree() {
+        for d in 1..=256 {
+            let edges = Haft::new(d).member_edges();
+            let mut g = Graph::new(d);
+            for &(i, j) in &edges {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+            assert!(g.is_connected(), "haft({d}) member graph disconnected");
+            for (i, deg) in member_degrees(d).iter().enumerate() {
+                assert!(
+                    *deg <= Haft::MAX_MEMBER_DEGREE,
+                    "haft({d}) member {i} has degree {deg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn haft_of_two_is_a_single_edge() {
+        assert_eq!(Haft::new(2).member_edges(), vec![(0, 1)]);
+        assert!(Haft::new(1).member_edges().is_empty());
+    }
+
+    #[test]
+    fn haft_member_diameter_is_logarithmic() {
+        for d in [4usize, 16, 64, 200] {
+            let mut g = Graph::new(d);
+            for (i, j) in Haft::new(d).member_edges() {
+                g.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+            let diam = ft_graph::bfs::diameter_exact(&g).expect("connected");
+            let bound = 2 * (usize::BITS - (d - 1).leading_zeros()) + 2;
+            assert!(diam <= bound, "haft({d}) diameter {diam} > {bound}");
+        }
+    }
+
+    #[test]
+    fn delete_reconnects_via_haft() {
+        let mut fg = ForgivingGraph::new(&gen::star(9));
+        let r = fg.delete(n(0));
+        assert_eq!(r.notified, 8);
+        assert!(fg.graph().is_connected());
+        assert!(fg.max_degree_increase() <= Haft::MAX_MEMBER_DEGREE as i64);
+        assert_eq!(fg.stats().heals, 1);
+    }
+
+    #[test]
+    fn insert_then_delete_round_trip() {
+        let mut fg = ForgivingGraph::new(&gen::path(5));
+        let v = fg.insert_node(&[n(0), n(4)]);
+        assert_eq!(v, n(5));
+        assert!(fg.pristine().has_edge(v, n(0)));
+        fg.delete(n(2));
+        assert!(fg.graph().is_connected());
+        assert_eq!(fg.degree_increase(n(0)), 0, "insert is not an increase");
+        fg.validate();
+    }
+
+    #[test]
+    fn insertion_skips_dead_neighbors() {
+        let mut fg = ForgivingGraph::new(&gen::path(4));
+        fg.delete(n(3));
+        let v = fg.insert_node(&[n(3), n(0)]);
+        assert_eq!(fg.graph().degree(v), 1, "dead neighbor skipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live neighbor")]
+    fn insertion_needs_a_live_neighbor() {
+        let mut fg = ForgivingGraph::new(&gen::path(3));
+        fg.delete(n(2));
+        fg.insert_node(&[n(2)]);
+    }
+
+    #[test]
+    fn random_churn_keeps_invariants() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::random_tree(60, &mut rng);
+        let mut fg = ForgivingGraph::new(&g);
+        for _ in 0..120 {
+            if rng.gen_bool(0.4) {
+                let live: Vec<NodeId> = fg.nodes().collect();
+                let a = live[rng.gen_range(0..live.len())];
+                let b = live[rng.gen_range(0..live.len())];
+                let picks: Vec<NodeId> = if a == b { vec![a] } else { vec![a, b] };
+                fg.insert_node(&picks);
+            } else if fg.len() > 2 {
+                let live: Vec<NodeId> = fg.nodes().collect();
+                fg.delete(live[rng.gen_range(0..live.len())]);
+            }
+            fg.validate();
+        }
+        assert!(fg.inserts() > 10);
+        assert!(fg.stats().heals > 10);
+    }
+
+    #[test]
+    fn bounds_are_logarithmic() {
+        assert_eq!(fg_degree_bound(1024), 33);
+        assert!(fg_degree_bound(2) >= 6);
+        assert_eq!(fg_stretch_bound(1024), 12.0);
+    }
+}

@@ -41,14 +41,26 @@
 //! assert!(ft.max_degree_increase() <= 3);
 //! ft.validate(); // full invariant audit
 //! ```
+//!
+//! The successor paper's structure — *The Forgiving Graph*, healing
+//! interleaved insertions and deletions on general graphs with O(log n)
+//! degree increase and stretch — lives in [`fgraph`] (the [`ForgivingGraph`]
+//! spec engine and the [`Haft`] reconstruction shape) and [`fgraph_dist`]
+//! (the message-level [`DistributedForgivingGraph`]).
+
+#![warn(missing_docs)]
 
 pub mod distributed;
+pub mod fgraph;
+pub mod fgraph_dist;
 mod invariants;
 pub mod report;
 pub mod shape;
 pub mod spec;
 mod varena;
 
+pub use fgraph::{fg_degree_bound, fg_stretch_bound, ForgivingGraph, Haft};
+pub use fgraph_dist::DistributedForgivingGraph;
 pub use report::{HealReport, HealStats};
 pub use spec::{ForgivingTree, RoleKind};
 

@@ -61,6 +61,25 @@ impl From<u32> for NodeId {
     }
 }
 
+/// One move of the Forgiving Graph's insert/delete adversary (Hayes–Saia–
+/// Trehan, arXiv:0902.2501): per time step the adversary may delete an
+/// existing node or insert a fresh one attached to chosen live neighbors.
+///
+/// Planners (`ft-adversary`) emit these and campaign drivers (`ft-sim`)
+/// apply them; the type lives here so neither crate depends on the other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Delete a live node; its neighbors are notified.
+    Delete(NodeId),
+    /// Insert a fresh node attached to the listed live nodes (neighbors
+    /// dead by apply time are skipped; an insert with no surviving
+    /// neighbor is dropped).
+    Insert {
+        /// The nodes the newcomer wires itself to.
+        neighbors: Vec<NodeId>,
+    },
+}
+
 /// An undirected simple graph over nodes `0..capacity`, supporting node
 /// deletion (the adversary's move) and edge insertion/removal (the healer's
 /// move).
@@ -187,6 +206,38 @@ impl Graph {
             self.num_edges -= 1;
         }
         removed
+    }
+
+    /// Appends a fresh live node slot and returns its ID (the Forgiving
+    /// Graph's *insertion* move: capacity grows by one and the new node
+    /// starts isolated — wire it up with [`Graph::add_edge`]).
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(BTreeSet::new());
+        self.alive.push(true);
+        self.num_alive += 1;
+        id
+    }
+
+    /// Revives a previously deleted slot (slot-reuse insertion policy): the
+    /// node returns isolated, under its old ID.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or still alive.
+    pub fn revive_node(&mut self, v: NodeId) {
+        assert!(
+            v.index() < self.alive.len(),
+            "revive_node: {v:?} out of range"
+        );
+        assert!(!self.alive[v.index()], "revive_node: {v:?} is alive");
+        debug_assert!(self.adj[v.index()].is_empty(), "dead slot kept edges");
+        self.alive[v.index()] = true;
+        self.num_alive += 1;
+    }
+
+    /// Lowest dead slot ID, if any (for slot-reuse insertion).
+    pub fn first_dead_slot(&self) -> Option<NodeId> {
+        self.alive.iter().position(|a| !a).map(|i| NodeId(i as u32))
     }
 
     /// Deletes node `v` (the adversary's move), dropping all incident edges.
@@ -346,6 +397,37 @@ mod tests {
             a.delete_node(NodeId(i));
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_node_grows_capacity() {
+        let mut g = Graph::from_edges(2, &[(0, 1)]);
+        let v = g.add_node();
+        assert_eq!(v, NodeId(2));
+        assert_eq!(g.capacity(), 3);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.degree(v), 0);
+        g.add_edge(v, NodeId(0));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn revive_reuses_the_dead_slot() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        g.delete_node(NodeId(1));
+        assert_eq!(g.first_dead_slot(), Some(NodeId(1)));
+        g.revive_node(NodeId(1));
+        assert_eq!(g.first_dead_slot(), None);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.degree(NodeId(1)), 0, "revived isolated");
+        assert_eq!(g.capacity(), 3, "no growth");
+    }
+
+    #[test]
+    #[should_panic(expected = "is alive")]
+    fn reviving_a_live_node_panics() {
+        let mut g = Graph::new(1);
+        g.revive_node(NodeId(0));
     }
 
     #[test]

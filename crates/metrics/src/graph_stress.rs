@@ -1,0 +1,372 @@
+//! Forgiving Graph stress harness: mixed insert/delete campaigns on the
+//! distributed engine, with a machine-readable perf record
+//! (`BENCH_graph.json`).
+//!
+//! [`run_graph_stress`] builds a connected general-graph workload (random
+//! spanning tree plus extra random edges), arms the message-level
+//! [`DistributedForgivingGraph`], and drives wave after wave of churn
+//! (planned by an `ft-adversary` [`ft_adversary::ChurnPlanner`], applied by
+//! the `ft-sim` [`Campaign`] driver) until the event budget is spent. The resulting
+//! [`GraphStressRecord`] reports throughput, the full message ledger
+//! (join notices included), the sampled stretch against the pristine graph,
+//! and the worst degree increase — and `run_graph_stress` panics if the
+//! books do not balance, a will audit fails, connectivity is lost, or
+//! either O(log n) bound is exceeded, so it doubles as the end-to-end
+//! acceptance check in CI.
+
+use crate::stretch::{measure_stretch, StretchReport};
+use ft_adversary::{make_churn_planner, AdversaryView};
+use ft_core::{fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph};
+use ft_graph::gen;
+use ft_sim::{Campaign, CampaignConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Graph-model stress-campaign parameters.
+#[derive(Clone, Debug)]
+pub struct GraphStressConfig {
+    /// Initial node count.
+    pub nodes: usize,
+    /// Total churn-event budget (insertions + deletions).
+    pub events: usize,
+    /// Events per adversarial wave.
+    pub wave_size: usize,
+    /// Fraction of events that are insertions.
+    pub insert_fraction: f64,
+    /// Extra non-tree edges in the initial graph, as a fraction of `nodes`.
+    pub extra_edges: f64,
+    /// Churn planner: `mixed` or `surge`.
+    pub planner: String,
+    /// RNG seed (workload, planner, and stretch sampling).
+    pub seed: u64,
+    /// BFS sources sampled by the stretch pass.
+    pub stretch_sources: usize,
+}
+
+impl Default for GraphStressConfig {
+    fn default() -> Self {
+        GraphStressConfig {
+            nodes: 10_000,
+            events: 2_000,
+            wave_size: 50,
+            insert_fraction: 0.4,
+            extra_edges: 0.2,
+            planner: String::from("mixed"),
+            seed: 42,
+            stretch_sources: 16,
+        }
+    }
+}
+
+/// The perf record emitted as `BENCH_graph.json`.
+#[derive(Clone, Debug)]
+pub struct GraphStressRecord {
+    /// Echo of the configuration.
+    pub config: GraphStressConfig,
+    /// Waves applied.
+    pub waves: usize,
+    /// Nodes inserted.
+    pub insertions: usize,
+    /// Nodes deleted.
+    pub deletions: usize,
+    /// Engine rounds consumed.
+    pub rounds: u64,
+    /// Live nodes remaining.
+    pub live_remaining: usize,
+    /// Wall-clock seconds for the campaign (setup and stretch pass
+    /// excluded).
+    pub elapsed_secs: f64,
+    /// Healed churn events per second.
+    pub events_per_sec: f64,
+    /// Delivered messages (notices and joins included) per second.
+    pub msgs_per_sec: f64,
+    /// Worst single-node single-round message load.
+    pub peak_per_node_load: usize,
+    /// Worst lifetime per-node message total.
+    pub max_per_node_total: u64,
+    /// Ledger: messages handed to the engine.
+    pub sent: u64,
+    /// Ledger: protocol messages delivered.
+    pub delivered: u64,
+    /// Ledger: messages dropped on dead endpoints.
+    pub dropped: u64,
+    /// Ledger: deletion notices delivered.
+    pub notices: u64,
+    /// Ledger: join notices delivered.
+    pub joins: u64,
+    /// Ledger: deliveries + notices + joins.
+    pub total_messages: u64,
+    /// Worst degree increase over the pristine baseline.
+    pub max_degree_increase: i64,
+    /// The enforced degree bound, `3·⌈log₂ n⌉ + 3`.
+    pub degree_bound: i64,
+    /// The sampled stretch pass.
+    pub stretch: StretchReport,
+    /// The enforced stretch bound, `⌈log₂ n⌉ + 2`.
+    pub stretch_bound: f64,
+    /// Whether the ledger identities held (always true on return).
+    pub balanced: bool,
+    /// Whether degree and stretch stayed within the O(log n) bounds
+    /// (always true on return — violations panic).
+    pub within_bounds: bool,
+}
+
+impl GraphStressRecord {
+    /// Serializes the record as a flat JSON object (hand-rolled: the
+    /// workspace is offline and vendors no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"graph_stress\",\n",
+                "  \"nodes\": {},\n",
+                "  \"events\": {},\n",
+                "  \"wave_size\": {},\n",
+                "  \"insert_fraction\": {:.3},\n",
+                "  \"extra_edges\": {:.3},\n",
+                "  \"planner\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"waves\": {},\n",
+                "  \"insertions\": {},\n",
+                "  \"deletions\": {},\n",
+                "  \"rounds\": {},\n",
+                "  \"live_remaining\": {},\n",
+                "  \"elapsed_secs\": {:.6},\n",
+                "  \"events_per_sec\": {:.1},\n",
+                "  \"msgs_per_sec\": {:.1},\n",
+                "  \"peak_per_node_load\": {},\n",
+                "  \"max_per_node_total\": {},\n",
+                "  \"sent\": {},\n",
+                "  \"delivered\": {},\n",
+                "  \"dropped\": {},\n",
+                "  \"notices\": {},\n",
+                "  \"joins\": {},\n",
+                "  \"total_messages\": {},\n",
+                "  \"max_degree_increase\": {},\n",
+                "  \"degree_bound\": {},\n",
+                "  \"stretch_sources\": {},\n",
+                "  \"stretch_pairs\": {},\n",
+                "  \"max_stretch\": {:.4},\n",
+                "  \"mean_stretch\": {:.4},\n",
+                "  \"stretch_bound\": {:.1},\n",
+                "  \"balanced\": {},\n",
+                "  \"within_bounds\": {}\n",
+                "}}\n"
+            ),
+            self.config.nodes,
+            self.config.events,
+            self.config.wave_size,
+            self.config.insert_fraction,
+            self.config.extra_edges,
+            self.config.planner,
+            self.config.seed,
+            self.waves,
+            self.insertions,
+            self.deletions,
+            self.rounds,
+            self.live_remaining,
+            self.elapsed_secs,
+            self.events_per_sec,
+            self.msgs_per_sec,
+            self.peak_per_node_load,
+            self.max_per_node_total,
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.notices,
+            self.joins,
+            self.total_messages,
+            self.max_degree_increase,
+            self.degree_bound,
+            self.stretch.sources,
+            self.stretch.pairs,
+            self.stretch.max_stretch,
+            self.stretch.mean_stretch,
+            self.stretch_bound,
+            self.balanced,
+            self.within_bounds,
+        )
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} inserts + {} deletes over {} waves on n={} ({} planner): \
+             {:.2}s, {:.0} events/s, {:.0} msgs/s, max stretch {:.2} \
+             (bound {:.0}), max degree +{} (bound {}), books balanced",
+            self.insertions,
+            self.deletions,
+            self.waves,
+            self.config.nodes,
+            self.config.planner,
+            self.elapsed_secs,
+            self.events_per_sec,
+            self.msgs_per_sec,
+            self.stretch.max_stretch,
+            self.stretch_bound,
+            self.max_degree_increase,
+            self.degree_bound,
+        )
+    }
+}
+
+/// Builds the initial workload: a random spanning tree over `nodes` plus
+/// `⌊extra_edges · nodes⌋` random chords — connected, sparse, general.
+fn initial_graph(cfg: &GraphStressConfig, rng: &mut StdRng) -> ft_graph::Graph {
+    let mut g = gen::random_tree(cfg.nodes, rng);
+    let extra = (cfg.extra_edges * cfg.nodes as f64) as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let a = ft_graph::NodeId(rng.gen_range(0..cfg.nodes) as u32);
+        let b = ft_graph::NodeId(rng.gen_range(0..cfg.nodes) as u32);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Runs the graph-model stress campaign described by `cfg`.
+///
+/// # Panics
+/// Panics on an unknown planner name, a heal that fails to quiesce, a
+/// message-ledger imbalance, a failed will audit, lost connectivity, or an
+/// O(log n) bound violation — a non-zero exit is the CI failure signal.
+pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let g = initial_graph(cfg, &mut rng);
+    let mut dist = DistributedForgivingGraph::new(&g);
+    let mut planner = make_churn_planner(&cfg.planner, cfg.seed, cfg.insert_fraction)
+        .unwrap_or_else(|| panic!("unknown churn planner: {}", cfg.planner));
+    let mut campaign = Campaign::new(CampaignConfig::default());
+
+    let start = Instant::now();
+    let mut remaining = cfg.events;
+    while remaining > 0 && dist.len() > 2 {
+        let k = remaining.min(cfg.wave_size.max(1));
+        let events = planner.plan(
+            AdversaryView {
+                graph: dist.graph(),
+                ft: None,
+            },
+            k,
+        );
+        if events.is_empty() {
+            break;
+        }
+        remaining = remaining.saturating_sub(events.len());
+        dist.run_wave(&mut campaign, &events);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    dist.network()
+        .check_accounting()
+        .expect("message ledger imbalance after graph stress campaign");
+    dist.check_wills()
+        .expect("stale wills after graph stress campaign");
+    assert!(
+        dist.graph().is_connected(),
+        "healer lost connectivity during the campaign"
+    );
+
+    let capacity = dist.graph().capacity();
+    let degree_bound = fg_degree_bound(capacity);
+    let stretch_bound = fg_stretch_bound(capacity);
+    let max_degree_increase = dist.max_degree_increase();
+    let stretch = measure_stretch(dist.graph(), dist.pristine(), cfg.stretch_sources, cfg.seed);
+    assert_eq!(
+        stretch.disconnected_pairs, 0,
+        "surviving pair unreachable in the healed graph"
+    );
+    assert!(
+        max_degree_increase <= degree_bound,
+        "degree increase {max_degree_increase} exceeds the O(log n) bound {degree_bound}"
+    );
+    assert!(
+        stretch.max_stretch <= stretch_bound,
+        "stretch {} exceeds the O(log n) bound {stretch_bound}",
+        stretch.max_stretch
+    );
+
+    let ledger = dist.ledger();
+    let report = campaign.report();
+    GraphStressRecord {
+        waves: report.waves,
+        insertions: report.insertions,
+        deletions: report.deletions,
+        rounds: report.rounds,
+        live_remaining: dist.len(),
+        elapsed_secs: elapsed,
+        events_per_sec: (report.insertions + report.deletions) as f64 / elapsed,
+        msgs_per_sec: ledger.total_messages() as f64 / elapsed,
+        peak_per_node_load: report.peak_round_load,
+        max_per_node_total: ledger.max_per_node(),
+        sent: ledger.sent(),
+        delivered: ledger.delivered(),
+        dropped: ledger.dropped(),
+        notices: ledger.notices(),
+        joins: ledger.joins(),
+        total_messages: ledger.total_messages(),
+        max_degree_increase,
+        degree_bound,
+        stretch,
+        stretch_bound,
+        balanced: true,
+        within_bounds: true,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_graph_campaign_balances_and_bounds() {
+        for planner in ["mixed", "surge"] {
+            let cfg = GraphStressConfig {
+                nodes: 250,
+                events: 80,
+                wave_size: 8,
+                insert_fraction: 0.4,
+                extra_edges: 0.2,
+                planner: planner.into(),
+                seed: 3,
+                stretch_sources: 8,
+            };
+            let rec = run_graph_stress(&cfg);
+            assert_eq!(rec.insertions + rec.deletions, 80, "{planner}");
+            assert!(rec.insertions > 0, "{planner} inserted");
+            assert!(rec.balanced && rec.within_bounds);
+            assert!(rec.joins > 0, "join notices on the books");
+            assert_eq!(rec.total_messages, rec.delivered + rec.notices + rec.joins);
+            assert!(rec.stretch.max_stretch >= 1.0);
+        }
+    }
+
+    #[test]
+    fn graph_json_record_is_well_formed_enough() {
+        let rec = run_graph_stress(&GraphStressConfig {
+            nodes: 60,
+            events: 20,
+            wave_size: 5,
+            insert_fraction: 0.5,
+            extra_edges: 0.1,
+            planner: "mixed".into(),
+            seed: 2,
+            stretch_sources: 4,
+        });
+        let json = rec.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"bench\": \"graph_stress\""));
+        assert!(json.contains("\"joins\""));
+        assert!(json.contains("\"max_stretch\""));
+        assert!(json.contains("\"within_bounds\": true"));
+        assert_eq!(json.matches(':').count(), 33, "33 fields");
+    }
+}

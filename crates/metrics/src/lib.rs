@@ -3,17 +3,25 @@
 //! Uniform machinery for every experiment in EXPERIMENTS.md: named
 //! workloads ([`workload`]), a trial runner that drives a
 //! healer–adversary pair while recording time series ([`runner`]),
-//! plain-text/CSV table formatting ([`table`]), and the large-scale
-//! wave-campaign stress harness behind `ftree stress` ([`stress`]).
+//! plain-text/CSV table formatting ([`table`]), the large-scale
+//! wave-campaign stress harnesses behind `ftree stress` — deletion-only
+//! tree campaigns ([`stress`], `BENCH_sim.json`) and mixed insert/delete
+//! Forgiving Graph campaigns ([`graph_stress`], `BENCH_graph.json`) — and
+//! the sampled-pair stretch pass that scores healed networks against their
+//! pristine baseline ([`stretch`]).
 
+pub mod graph_stress;
 pub mod runner;
 pub mod stats;
 pub mod stress;
+pub mod stretch;
 pub mod table;
 pub mod workload;
 
+pub use graph_stress::{run_graph_stress, GraphStressConfig, GraphStressRecord};
 pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
 pub use stats::{log_log_slope, Summary};
 pub use stress::{run_stress, StressConfig, StressRecord};
+pub use stretch::{measure_stretch, StretchReport};
 pub use table::Table;
 pub use workload::Workload;

@@ -3,8 +3,8 @@
 //!
 //! [`run_stress`] builds a k-ary tree workload, arms the message-level
 //! [`DistributedForgivingTree`], and drives wave after wave of deletions
-//! (planned by an `ft-adversary` [`WavePlanner`], applied by the
-//! `ft-sim` [`Campaign`] driver) until the deletion budget is spent. The
+//! (planned by an `ft-adversary` [`ft_adversary::WavePlanner`], applied by
+//! the `ft-sim` [`Campaign`] driver) until the deletion budget is spent. The
 //! resulting [`StressRecord`] reports throughput (deletions/sec and
 //! messages/sec), the peak per-node round load, and the full message
 //! ledger — and `run_stress` panics if the books do not balance or any

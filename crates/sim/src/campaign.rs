@@ -1,11 +1,13 @@
-//! Adversarial deletion campaigns: batched waves with interleaved heals.
+//! Adversarial campaigns: batched waves with interleaved heals.
 //!
 //! The Forgiving Graph follow-up (Hayes–Saia–Trehan, arXiv:0902.2501)
 //! stresses *repeated large-scale attack waves* rather than single
 //! deletions. [`Campaign`] is the driver for that regime: the caller plans a
-//! **wave** of victims against a topology snapshot (see the wave planners in
-//! `ft-adversary`), the campaign applies the deletions to a [`Network`] and
-//! interleaves heals according to its [`HealCadence`]:
+//! **wave** — deletion victims ([`Campaign::run_wave`]) or mixed
+//! insert/delete churn events ([`Campaign::run_churn_wave`]) — against a
+//! topology snapshot (see the wave and churn planners in `ft-adversary`),
+//! the campaign applies the events to a [`Network`] and interleaves heals
+//! according to its [`HealCadence`]:
 //!
 //! - [`PerDeletion`](HealCadence::PerDeletion) (default) — the paper's
 //!   Model 2.1: one deletion per time step, recovery runs to quiescence
@@ -20,7 +22,7 @@
 //! can always be audited with [`Network::check_accounting`].
 
 use crate::network::{Network, Process, RoundStats};
-use ft_graph::NodeId;
+use ft_graph::{ChurnEvent, NodeId};
 
 /// When recovery rounds run relative to a wave's deletions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,6 +59,8 @@ pub struct WaveStats {
     pub wave: usize,
     /// Victims actually deleted.
     pub deletions: usize,
+    /// Nodes inserted (churn waves only).
+    pub insertions: usize,
     /// Engine rounds consumed (deletion steps + recovery rounds).
     pub rounds: u32,
     /// Messages delivered during the wave (deletion notices included).
@@ -86,6 +90,8 @@ pub struct CampaignReport {
     pub waves: usize,
     /// Total deletions.
     pub deletions: usize,
+    /// Total insertions (churn waves only).
+    pub insertions: usize,
     /// Total engine rounds consumed.
     pub rounds: u64,
     /// Total messages delivered (notices included).
@@ -103,6 +109,27 @@ pub struct CampaignReport {
 
 /// The campaign driver; owns nothing but configuration and the running
 /// report, so one instance can drive any number of networks in sequence.
+///
+/// ```
+/// use ft_sim::{Campaign, CampaignConfig, Ctx, Network, Process};
+/// use ft_graph::{gen, NodeId};
+///
+/// /// A protocol that does nothing — the campaign machinery still
+/// /// delivers notices and balances the books.
+/// #[derive(Debug)]
+/// struct Quiet;
+/// impl Process for Quiet {
+///     type Msg = ();
+///     fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {}
+/// }
+///
+/// let mut net = Network::new(gen::grid(3, 3), |_| Quiet);
+/// let mut campaign = Campaign::new(CampaignConfig::default());
+/// let wave = campaign.run_wave(&mut net, &[NodeId(4), NodeId(0)]);
+/// assert_eq!(wave.deletions, 2);
+/// assert_eq!(campaign.report().waves, 1);
+/// net.check_accounting().expect("books balance");
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Campaign {
     cfg: CampaignConfig,
@@ -121,6 +148,11 @@ impl Campaign {
     /// The accumulated report.
     pub fn report(&self) -> &CampaignReport {
         &self.report
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
     }
 
     /// Applies one wave of deletions to `net` with interleaved heals.
@@ -155,15 +187,83 @@ impl Campaign {
                 ws.absorb(&merged, rounds);
             }
         }
+        self.absorb_wave(&ws);
+        ws
+    }
+
+    /// Applies one mixed insert/delete wave (the Forgiving Graph's churn
+    /// model) to `net` with interleaved heals.
+    ///
+    /// `make` builds the process for each inserted node from its assigned
+    /// ID and the live neighbors it was wired to. Insert events whose
+    /// neighbors have all died earlier in the wave are skipped; victims
+    /// must be alive when their event applies.
+    ///
+    /// # Panics
+    /// Panics if a delete victim is dead or a heal phase fails to quiesce
+    /// within the configured round budget.
+    pub fn run_churn_wave<P: Process>(
+        &mut self,
+        net: &mut Network<P>,
+        events: &[ChurnEvent],
+        mut make: impl FnMut(NodeId, &[NodeId]) -> P,
+    ) -> WaveStats {
+        let mut ws = WaveStats {
+            wave: self.report.waves,
+            ..WaveStats::default()
+        };
+        let mut apply = |net: &mut Network<P>, ev: &ChurnEvent, ws: &mut WaveStats| {
+            match ev {
+                ChurnEvent::Delete(v) => {
+                    let notice = net.delete_node(*v);
+                    ws.deletions += 1;
+                    ws.absorb(&notice, 1);
+                }
+                ChurnEvent::Insert { neighbors } => {
+                    let live: Vec<NodeId> = neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&u| net.graph().is_alive(u))
+                        .collect();
+                    if live.is_empty() {
+                        return; // every anchor died earlier in the wave
+                    }
+                    let (_, stats) = net.insert_node(&live, |id| make(id, &live));
+                    ws.insertions += 1;
+                    ws.absorb(&stats, 1);
+                }
+            }
+        };
+        match self.cfg.cadence {
+            HealCadence::PerDeletion => {
+                for ev in events {
+                    apply(net, ev, &mut ws);
+                    let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
+                    ws.absorb(&merged, rounds);
+                }
+            }
+            HealCadence::PerWave => {
+                for ev in events {
+                    apply(net, ev, &mut ws);
+                }
+                let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
+                ws.absorb(&merged, rounds);
+            }
+        }
+        self.absorb_wave(&ws);
+        ws
+    }
+
+    fn absorb_wave(&mut self, ws: &WaveStats) {
         self.report.waves += 1;
         self.report.deletions += ws.deletions;
+        self.report.insertions += ws.insertions;
         self.report.rounds += u64::from(ws.rounds);
         self.report.messages += ws.messages as u64;
         self.report.peak_round_load = self.report.peak_round_load.max(ws.max_per_node);
         self.report.worst_wave_rounds = self.report.worst_wave_rounds.max(ws.rounds);
         self.report.edges_added += ws.edges_added;
         self.report.edges_removed += ws.edges_removed;
-        ws
     }
 }
 
@@ -191,6 +291,10 @@ mod tests {
             for &u in &self.neighbors {
                 ctx.send(u, ());
             }
+        }
+        fn on_neighbor_joined(&mut self, new: NodeId, ctx: &mut Ctx<'_, ()>) {
+            self.neighbors.push(new);
+            ctx.send(new, ());
         }
     }
 
@@ -228,6 +332,32 @@ mod tests {
         assert_eq!(ws.deletions, 2);
         assert!(!net.has_pending());
         net.check_accounting().expect("books balance");
+    }
+
+    #[test]
+    fn churn_wave_mixes_inserts_and_deletes() {
+        use ft_graph::ChurnEvent;
+        let mut net = pinger_net(gen::grid(4, 4));
+        let mut campaign = Campaign::new(CampaignConfig::default());
+        let events = vec![
+            ChurnEvent::Insert {
+                neighbors: vec![NodeId(0), NodeId(3)],
+            },
+            ChurnEvent::Delete(NodeId(5)),
+            ChurnEvent::Insert {
+                neighbors: vec![NodeId(5)], // anchor died earlier in the wave
+            },
+        ];
+        let ws = campaign.run_churn_wave(&mut net, &events, |_, nbrs| Pinger {
+            neighbors: nbrs.to_vec(),
+            pings: 0,
+        });
+        assert_eq!((ws.insertions, ws.deletions), (1, 1));
+        assert_eq!(net.len(), 16, "one in, one out");
+        assert_eq!(net.ledger().joins(), 2, "both anchors noticed the join");
+        assert!(!net.has_pending());
+        net.check_accounting().expect("books balance");
+        assert_eq!(campaign.report().insertions, 1);
     }
 
     #[test]

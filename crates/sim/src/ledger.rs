@@ -18,17 +18,31 @@
 //!   [`InFlightPolicy::Drop`](crate::InFlightPolicy) — sender killed;
 //! - **notices** — deletion notices (the model's failure detection),
 //!   delivered out-of-band by the environment, so they appear in the
-//!   delivery-side books but never in `sent`.
+//!   delivery-side books but never in `sent`;
+//! - **joins** — join notices: when the adversary inserts a node
+//!   ([`Network::insert_node`](crate::Network::insert_node)), each chosen
+//!   neighbor is informed out-of-band, mirroring deletion notices.
 //!
 //! Per-node charges happen **at delivery**: a delivered message charges its
-//! sender once and its receiver once; a notice charges only the surviving
-//! receiver (the sender is dead). Two identities therefore hold at all
-//! times and are enforced by [`MsgLedger::check`]:
+//! sender once and its receiver once; a deletion or join notice charges only
+//! the live receiver (the other endpoint is dead resp. not yet wired up).
+//! Two identities therefore hold at all times and are enforced by
+//! [`MsgLedger::check`]:
 //!
 //! ```text
 //! sent         == delivered + dropped + in-flight          (conservation)
-//! sum_per_node == 2·delivered + notices
-//!              == 2·total_messages − notices               (reconciliation)
+//! sum_per_node == 2·delivered + notices + joins
+//!              == 2·total_messages − notices − joins       (reconciliation)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ft_sim::MsgLedger;
+//!
+//! let ledger = MsgLedger::new(8);
+//! assert_eq!(ledger.total_messages(), 0);
+//! ledger.check(0).expect("an empty ledger balances");
 //! ```
 
 use ft_graph::NodeId;
@@ -43,6 +57,7 @@ pub struct MsgLedger {
     delivered: u64,
     dropped: u64,
     notices: u64,
+    joins: u64,
     /// Delivered messages charged to their sender, indexed by node.
     per_sent: Vec<u64>,
     /// Deliveries plus notices charged to their receiver, indexed by node.
@@ -57,8 +72,18 @@ impl MsgLedger {
             delivered: 0,
             dropped: 0,
             notices: 0,
+            joins: 0,
             per_sent: vec![0; capacity],
             per_recv: vec![0; capacity],
+        }
+    }
+
+    /// Extends the per-node books to cover IDs `0..capacity` (node
+    /// insertion under the grow policy).
+    pub(crate) fn grow(&mut self, capacity: usize) {
+        if capacity > self.per_sent.len() {
+            self.per_sent.resize(capacity, 0);
+            self.per_recv.resize(capacity, 0);
         }
     }
 
@@ -85,6 +110,13 @@ impl MsgLedger {
         self.per_recv[to.index()] += 1;
     }
 
+    /// A join notice was delivered to `to`, a chosen neighbor of a freshly
+    /// inserted node.
+    pub(crate) fn record_join(&mut self, to: NodeId) {
+        self.joins += 1;
+        self.per_recv[to.index()] += 1;
+    }
+
     /// Protocol messages handed to the engine (delivered or not).
     pub fn sent(&self) -> u64 {
         self.sent
@@ -105,9 +137,15 @@ impl MsgLedger {
         self.notices
     }
 
-    /// Everything the wires carried: deliveries plus deletion notices.
+    /// Join notices delivered (node insertions).
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Everything the wires carried: deliveries plus deletion and join
+    /// notices.
     pub fn total_messages(&self) -> u64 {
-        self.delivered + self.notices
+        self.delivered + self.notices + self.joins
     }
 
     /// Delivered messages `v` sent (delivery-side charge).
@@ -149,10 +187,10 @@ impl MsgLedger {
             ));
         }
         let sum = self.sum_per_node();
-        if sum != 2 * self.delivered + self.notices {
+        if sum != 2 * self.delivered + self.notices + self.joins {
             return Err(format!(
-                "reconciliation broken: sum per-node {} != 2·delivered {} + notices {}",
-                sum, self.delivered, self.notices
+                "reconciliation broken: sum per-node {} != 2·delivered {} + notices {} + joins {}",
+                sum, self.delivered, self.notices, self.joins
             ));
         }
         Ok(())
@@ -183,6 +221,22 @@ mod tests {
         assert_eq!(l.per_node(n(0)), 2, "two delivered sends");
         assert_eq!(l.per_node(n(1)), 2, "one delivery + one notice");
         assert_eq!(l.sum_per_node(), 2 * l.total_messages() - l.notices());
+    }
+
+    #[test]
+    fn joins_reconcile_like_notices() {
+        let mut l = MsgLedger::new(2);
+        l.record_join(n(0));
+        l.record_join(n(1));
+        l.check(0).expect("join-only books balance");
+        assert_eq!(l.joins(), 2);
+        assert_eq!(l.total_messages(), 2);
+        assert_eq!(l.sum_per_node(), 2);
+        l.grow(5);
+        l.record_sent();
+        l.record_delivery(n(1), n(4));
+        l.check(0).expect("post-growth books balance");
+        assert_eq!(l.per_node(n(4)), 1, "grown slot is on the books");
     }
 
     #[test]

@@ -34,16 +34,29 @@
 //! `Deliver` (default — the wire keeps packets a crashed peer already sent)
 //! or `Drop` (the adversary silences the victim's unreceived mail too).
 //!
+//! # Node arrivals
+//!
+//! The Forgiving Graph model also lets the adversary *insert* nodes:
+//! [`Network::insert_node`] allocates a slot (appended, or a dead slot
+//! reused, per [`SlotPolicy`]), wires the newcomer to its chosen neighbors,
+//! starts its process and delivers join notices
+//! ([`Process::on_neighbor_joined`]) charged to the ledger's joins book.
+//!
 //! # Campaigns
 //!
-//! [`Campaign`] drives batched adversarial deletion waves with interleaved
-//! heals ([`HealCadence::PerDeletion`] or [`HealCadence::PerWave`]) and
+//! [`Campaign`] drives batched adversarial waves — deletion-only
+//! ([`Campaign::run_wave`]) or mixed insert/delete churn
+//! ([`Campaign::run_churn_wave`]) — with interleaved heals
+//! ([`HealCadence::PerDeletion`] or [`HealCadence::PerWave`]) and
 //! accumulates a ledger-backed [`CampaignReport`] — the engine under
-//! `ftree stress` and the `BENCH_sim.json` perf record.
+//! `ftree stress` and the `BENCH_sim.json` / `BENCH_graph.json` perf
+//! records.
 //!
 //! [`bfs`] contains the one-time setup protocol: a distributed BFS spanning
 //! tree construction with latency equal to the root's eccentricity (the
 //! stand-in for Cohen's algorithm cited by the paper).
+
+#![warn(missing_docs)]
 
 pub mod bfs;
 pub mod campaign;
@@ -52,7 +65,7 @@ pub mod network;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, HealCadence, WaveStats};
 pub use ledger::MsgLedger;
-pub use network::{Ctx, InFlightPolicy, Network, Process, RoundStats};
+pub use network::{Ctx, InFlightPolicy, Network, Process, RoundStats, SlotPolicy};
 
 #[cfg(test)]
 mod accounting_tests;

@@ -50,6 +50,11 @@ pub trait Process {
     /// Called when a (graph-)neighbor of this node has been deleted by the
     /// adversary ("only the neighbors of the deleted vertex are informed").
     fn on_neighbor_deleted(&mut self, _dead: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when the adversary inserted a fresh node wired to this one
+    /// (the join notice of the insert/delete model). The newcomer itself is
+    /// started via [`Process::on_start`] in the same round.
+    fn on_neighbor_joined(&mut self, _new: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// Side-effect collector handed to process callbacks.
@@ -103,6 +108,20 @@ pub enum InFlightPolicy {
     Drop,
 }
 
+/// How [`Network::insert_node`] allocates the newcomer's slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SlotPolicy {
+    /// Append a fresh slot: every dense vector (and the graph capacity)
+    /// grows by one, IDs are never recycled. The default — pristine-graph
+    /// baselines rely on stable IDs.
+    #[default]
+    Grow,
+    /// Reuse the lowest dead slot when one exists (fall back to growing):
+    /// long churn campaigns stay dense. The reused slot keeps its ledger
+    /// history — per-node books are per *slot*, not per incarnation.
+    Reuse,
+}
+
 /// Per-round accounting, derived from the [`MsgLedger`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
@@ -153,6 +172,7 @@ pub struct Network<P: Process> {
     pending: usize,
     live: usize,
     policy: InFlightPolicy,
+    slots: SlotPolicy,
     ledger: MsgLedger,
 }
 
@@ -203,6 +223,7 @@ impl<P: Process> Network<P> {
             pending: 0,
             live,
             policy,
+            slots: SlotPolicy::default(),
             ledger: MsgLedger::new(cap),
         }
     }
@@ -265,6 +286,16 @@ impl<P: Process> Network<P> {
     /// Changes the in-flight mail policy for subsequent deletions.
     pub fn set_in_flight_policy(&mut self, policy: InFlightPolicy) {
         self.policy = policy;
+    }
+
+    /// The slot-allocation policy applied on node insertion.
+    pub fn slot_policy(&self) -> SlotPolicy {
+        self.slots
+    }
+
+    /// Changes the slot-allocation policy for subsequent insertions.
+    pub fn set_slot_policy(&mut self, slots: SlotPolicy) {
+        self.slots = slots;
     }
 
     /// The message ledger every statistic derives from.
@@ -392,6 +423,103 @@ impl<P: Process> Network<P> {
             }
         }
         self.finish_round(delivered)
+    }
+
+    /// Inserts a fresh node wired to `neighbors` (the adversary's insertion
+    /// move of the Forgiving Graph model) and returns its ID plus the
+    /// round's stats.
+    ///
+    /// The slot comes from the [`SlotPolicy`]: appended ([`SlotPolicy::Grow`],
+    /// default — all dense state and the ledger books grow by one) or the
+    /// lowest dead slot revived ([`SlotPolicy::Reuse`]). The newcomer's
+    /// process is built by `make` and started via [`Process::on_start`];
+    /// each listed neighbor receives a join notice
+    /// ([`Process::on_neighbor_joined`]) charged to the [`MsgLedger`]'s
+    /// joins book. Reactions are queued for the next round as usual.
+    ///
+    /// # Panics
+    /// Panics if a listed neighbor is dead or duplicated.
+    pub fn insert_node(
+        &mut self,
+        neighbors: &[NodeId],
+        make: impl FnOnce(NodeId) -> P,
+    ) -> (NodeId, RoundStats) {
+        for (i, &u) in neighbors.iter().enumerate() {
+            assert!(
+                self.procs.get(u.index()).is_some_and(|p| p.is_some()),
+                "insert_node: neighbor {u:?} is dead"
+            );
+            assert!(
+                !neighbors[..i].contains(&u),
+                "insert_node: duplicate neighbor {u:?}"
+            );
+        }
+        let v = match (self.slots, self.graph.first_dead_slot()) {
+            (SlotPolicy::Reuse, Some(slot)) => {
+                self.graph.revive_node(slot);
+                slot
+            }
+            _ => {
+                let slot = self.graph.add_node();
+                debug_assert_eq!(slot.index(), self.procs.len());
+                self.procs.push(None);
+                self.inboxes.push(Vec::new());
+                self.round_load.push(0);
+                self.ledger.grow(self.graph.capacity());
+                slot
+            }
+        };
+        debug_assert!(self.inboxes[v.index()].is_empty());
+        self.procs[v.index()] = Some(make(v));
+        self.live += 1;
+        for &u in neighbors {
+            self.graph.add_edge(v, u);
+        }
+        let mut delivered = 0usize;
+        {
+            let Network {
+                procs,
+                outbox,
+                edge_adds,
+                edge_drops,
+                round,
+                round_load,
+                touched,
+                ledger,
+                ..
+            } = self;
+            let mut ctx = Ctx {
+                me: v,
+                round: *round,
+                outbox: &mut *outbox,
+                edge_adds: &mut *edge_adds,
+                edge_drops: &mut *edge_drops,
+            };
+            procs[v.index()]
+                .as_mut()
+                .expect("just inserted")
+                .on_start(&mut ctx);
+            for &u in neighbors {
+                delivered += 1; // the join notice itself
+                ledger.record_join(u);
+                bump_load(round_load, touched, u);
+                let mut ctx = Ctx {
+                    me: u,
+                    round: *round,
+                    outbox: &mut *outbox,
+                    edge_adds: &mut *edge_adds,
+                    edge_drops: &mut *edge_drops,
+                };
+                procs[u.index()]
+                    .as_mut()
+                    .expect("live neighbor")
+                    .on_neighbor_joined(v, &mut ctx);
+            }
+        }
+        let mut stats = self.finish_round(delivered);
+        // the arrival edges are part of this round's churn figures
+        stats.edges_added += neighbors.len();
+        (v, stats)
     }
 
     /// Delivers all queued messages (one synchronous round).
@@ -770,6 +898,66 @@ mod tests {
         let stats = net.start();
         assert!(net.graph().has_edge(NodeId(0), NodeId(1)), "add wins");
         assert_eq!((stats.edges_added, stats.edges_removed), (1, 1));
+    }
+
+    /// Joiner-aware process: counts join notices and greets newcomers.
+    #[derive(Debug, Default)]
+    struct Greeter {
+        joins: usize,
+        greetings: usize,
+    }
+
+    impl Process for Greeter {
+        type Msg = ();
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, ()>) {
+            self.greetings += 1;
+        }
+        fn on_neighbor_joined(&mut self, new: NodeId, ctx: &mut Ctx<'_, ()>) {
+            self.joins += 1;
+            ctx.send(new, ());
+        }
+    }
+
+    #[test]
+    fn insert_node_grows_and_notifies_neighbors() {
+        let g = gen::path(3);
+        let mut net = Network::new(g, |_| Greeter::default());
+        let (v, stats) = net.insert_node(&[NodeId(0), NodeId(2)], |_| Greeter::default());
+        assert_eq!(v, NodeId(3), "grow policy appends");
+        assert_eq!(stats.messages, 2, "two join notices");
+        assert_eq!(stats.edges_added, 2);
+        assert!(net.graph().has_edge(v, NodeId(0)));
+        assert_eq!(net.process(NodeId(0)).joins, 1);
+        assert_eq!(net.process(NodeId(1)).joins, 0, "non-anchor unaware");
+        net.run_until_quiet(4);
+        assert_eq!(net.process(v).greetings, 2, "both anchors greeted");
+        assert_eq!(net.ledger().joins(), 2);
+        net.check_accounting().expect("books balance");
+    }
+
+    #[test]
+    fn reuse_policy_revives_the_dead_slot() {
+        let g = gen::path(3);
+        let mut net = Network::new(g, |_| Greeter::default());
+        net.set_slot_policy(SlotPolicy::Reuse);
+        net.delete_node(NodeId(1));
+        let (v, _) = net.insert_node(&[NodeId(0)], |_| Greeter::default());
+        assert_eq!(v, NodeId(1), "dead slot reused");
+        assert_eq!(net.graph().capacity(), 3, "no growth");
+        assert_eq!(net.len(), 3);
+        let (w, _) = net.insert_node(&[NodeId(2)], |_| Greeter::default());
+        assert_eq!(w, NodeId(3), "no dead slot left: falls back to growing");
+        net.run_until_quiet(4);
+        net.check_accounting().expect("books balance");
+    }
+
+    #[test]
+    #[should_panic(expected = "is dead")]
+    fn insert_with_dead_anchor_panics() {
+        let g = gen::path(2);
+        let mut net = Network::new(g, |_| Greeter::default());
+        net.delete_node(NodeId(0));
+        net.insert_node(&[NodeId(0)], |_| Greeter::default());
     }
 
     #[test]

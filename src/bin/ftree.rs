@@ -7,6 +7,9 @@
 //! ftree duel    --workload star:128
 //! ftree stress  --nodes 100000 --deletions 1000 --wave 50 \
 //!               --planner heavy-tail --seed 42 --out BENCH_sim.json
+//! ftree stress  --model graph --nodes 10000 --events 2000 --wave 50 \
+//!               --planner mixed --insert-frac 0.4 --seed 42 \
+//!               --out BENCH_graph.json
 //! ftree help
 //! ```
 //!
@@ -14,7 +17,8 @@
 //! `broom:H+B`, `random:N#SEED`, `pref:N#SEED`.
 
 use forgiving_tree::metrics::{
-    log_log_slope, run_stress, run_trial, StressConfig, Table, TrialConfig, Workload,
+    log_log_slope, run_graph_stress, run_stress, run_trial, GraphStressConfig, StressConfig, Table,
+    TrialConfig, Workload,
 };
 use forgiving_tree::prelude::*;
 use std::process::exit;
@@ -24,11 +28,12 @@ fn usage() -> ! {
         "usage:\n  ftree attack  --workload W --adversary A --healer H [--fraction F] [--dot] [--csv]\n  \
          ftree scaling --healer H --adversary A\n  \
          ftree duel    --workload W\n  \
-         ftree stress  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--seed S] [--out FILE]\n\n\
+         ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--seed S] [--out FILE]\n  \
+         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--out FILE]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
-         healers   : forgiving-tree surrogate line binary-tree no-heal\n\
-         planners  : random targeted heavy-tail (wave planners for `stress`)"
+         healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
+         planners  : random targeted heavy-tail (tree stress) | mixed surge (graph stress)"
     );
     exit(2);
 }
@@ -83,6 +88,7 @@ fn make_adversary(name: &str, seed: u64) -> Box<dyn Adversary> {
 fn make_healer(name: &str, w: &Workload) -> Box<dyn SelfHealer> {
     match name {
         "forgiving-tree" => Box::new(ForgivingHealer::new(&w.tree())),
+        "forgiving-graph" => Box::new(ForgivingGraphHealer::new(w.graph())),
         "surrogate" => Box::new(SurrogateHealer::new(w.graph())),
         "line" => Box::new(LineHealer::new(w.graph())),
         "binary-tree" => Box::new(BinaryTreeHealer::new(w.graph())),
@@ -182,7 +188,13 @@ fn cmd_duel(args: &[String]) {
         format!("duel on {}", w.name()),
         &["healer", "adversary", "deg inc", "stretch", "connected"],
     );
-    for healer_name in ["forgiving-tree", "surrogate", "line", "binary-tree"] {
+    for healer_name in [
+        "forgiving-tree",
+        "forgiving-graph",
+        "surrogate",
+        "line",
+        "binary-tree",
+    ] {
         for adv_name in ["random", "max-degree", "hub-siphon", "diameter-greedy"] {
             let mut adv = make_adversary(adv_name, 3);
             let mut healer = make_healer(healer_name, &w);
@@ -205,6 +217,17 @@ fn cmd_duel(args: &[String]) {
 }
 
 fn cmd_stress(args: &[String]) {
+    match flag_value(args, "--model").unwrap_or("tree") {
+        "tree" => cmd_stress_tree(args),
+        "graph" => cmd_stress_graph(args),
+        other => {
+            eprintln!("unknown stress model: {other} (tree | graph)");
+            usage();
+        }
+    }
+}
+
+fn cmd_stress_tree(args: &[String]) {
     let num = |flag: &str, default: usize| -> usize {
         flag_value(args, flag)
             .map(|s| s.parse().unwrap_or_else(|_| usage()))
@@ -233,6 +256,67 @@ fn cmd_stress(args: &[String]) {
         rec.sent, rec.delivered, rec.dropped, rec.notices, rec.total_messages
     );
     let out = flag_value(args, "--out").unwrap_or("BENCH_sim.json");
+    std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}");
+}
+
+fn cmd_stress_graph(args: &[String]) {
+    let num = |flag: &str, default: usize| -> usize {
+        flag_value(args, flag)
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    };
+    // validate range here: the planners clamp silently, and the emitted
+    // record must never describe a campaign that was not actually run
+    let frac = |flag: &str, default: f64| -> f64 {
+        let f: f64 = flag_value(args, flag)
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default);
+        if !(0.0..=1.0).contains(&f) {
+            eprintln!("{flag} must be in [0, 1], got {f}");
+            usage();
+        }
+        f
+    };
+    let defaults = GraphStressConfig::default();
+    let planner = flag_value(args, "--planner").unwrap_or("mixed");
+    if forgiving_tree::prelude::make_churn_planner(planner, 0, 0.5).is_none() {
+        eprintln!("unknown churn planner: {planner}");
+        usage();
+    }
+    let cfg = GraphStressConfig {
+        nodes: num("--nodes", defaults.nodes),
+        events: num("--events", defaults.events),
+        wave_size: num("--wave", defaults.wave_size),
+        insert_fraction: frac("--insert-frac", defaults.insert_fraction),
+        extra_edges: frac("--extra-edges", defaults.extra_edges),
+        planner: planner.into(),
+        seed: num("--seed", defaults.seed as usize) as u64,
+        stretch_sources: num("--sources", defaults.stretch_sources),
+    };
+    // run_graph_stress panics (non-zero exit) on ledger imbalance, stale
+    // wills, lost connectivity, or an O(log n) bound violation — exactly
+    // the signals CI must treat as failures.
+    let rec = run_graph_stress(&cfg);
+    println!("{}", rec.summary());
+    println!(
+        "  ledger: sent {} = delivered {} + dropped {} (+0 in flight) | notices {} | joins {} | total {}",
+        rec.sent, rec.delivered, rec.dropped, rec.notices, rec.joins, rec.total_messages
+    );
+    println!(
+        "  stretch: {} pairs from {} sources, max {:.2} mean {:.2} (bound {:.0}) | degree +{} (bound {})",
+        rec.stretch.pairs,
+        rec.stretch.sources,
+        rec.stretch.max_stretch,
+        rec.stretch.mean_stretch,
+        rec.stretch_bound,
+        rec.max_degree_increase,
+        rec.degree_bound
+    );
+    let out = flag_value(args, "--out").unwrap_or("BENCH_graph.json");
     std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1);

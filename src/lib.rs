@@ -15,16 +15,21 @@
 //!
 //! which is asymptotically optimal (Theorem 2: `α^(2β+1) ≥ Δ`).
 //!
+//! The successor paper — *The Forgiving Graph* (arXiv:0902.2501) — is
+//! implemented alongside it: haft-based healing of arbitrary interleaved
+//! node **insertions and deletions** on general graphs, with O(log n)
+//! degree increase and O(log n) stretch against the pristine network.
+//!
 //! This facade re-exports the workspace crates:
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`ft-core`) | the data structure: spec engine + distributed protocol |
-//! | [`graph`] (`ft-graph`) | graphs, BFS/diameter, rooted trees, generators |
-//! | [`sim`] (`ft-sim`) | synchronous message-passing simulator + BFS setup |
-//! | [`baselines`] (`ft-baselines`) | surrogate/line/binary-tree healers + `SelfHealer` |
-//! | [`adversary`] (`ft-adversary`) | omniscient deletion strategies |
-//! | [`metrics`] (`ft-metrics`) | experiment runner, workloads, tables |
+//! | [`core`] (`ft-core`) | both data structures: spec engines + distributed protocols |
+//! | [`graph`] (`ft-graph`) | graphs (insert + delete), BFS/diameter, rooted trees, generators |
+//! | [`sim`] (`ft-sim`) | synchronous simulator (arrivals + deletions) + BFS setup |
+//! | [`baselines`] (`ft-baselines`) | surrogate/line/binary-tree/forgiving-graph healers + `SelfHealer` |
+//! | [`adversary`] (`ft-adversary`) | omniscient deletion strategies + wave/churn planners |
+//! | [`metrics`] (`ft-metrics`) | experiment runner, workloads, tables, stretch pass, stress harnesses |
 //!
 //! # Quickstart
 //!
@@ -43,6 +48,22 @@
 //! assert!(ft.graph().is_connected());
 //! assert!(ft.max_degree_increase() <= 3);
 //! ```
+//!
+//! The Forgiving Graph heals insertions *and* deletions:
+//!
+//! ```
+//! use forgiving_tree::prelude::*;
+//!
+//! let mut fg = ForgivingGraph::new(&gen::kary_tree(85, 4));
+//!
+//! let newcomer = fg.insert_node(&[NodeId(3), NodeId(7)]);
+//! fg.delete(NodeId(0));
+//! fg.delete(NodeId(3));
+//!
+//! assert!(fg.graph().is_alive(newcomer));
+//! assert!(fg.graph().is_connected());
+//! assert!(fg.max_degree_increase() <= fg_degree_bound(fg.graph().capacity()));
+//! ```
 
 pub use ft_adversary as adversary;
 pub use ft_baselines as baselines;
@@ -54,22 +75,30 @@ pub use ft_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use ft_adversary::{
-        make_wave_planner, Adversary, AdversaryView, DiameterGreedy, HeavyTailWave, HeirHunter,
-        HighestDegreeAdversary, HubSiphon, LowestDegreeAdversary, RandomAdversary, RandomWave,
-        RootAdversary, TargetedWave, WavePlanner,
+        make_churn_planner, make_wave_planner, Adversary, AdversaryView, ChurnPlanner,
+        DiameterGreedy, HeavyTailWave, HeirHunter, HighestDegreeAdversary, HubSiphon,
+        LowestDegreeAdversary, MixedChurn, RandomAdversary, RandomWave, RootAdversary, SurgeChurn,
+        TargetedWave, WavePlanner,
     };
     pub use ft_baselines::{
-        BinaryTreeHealer, ForgivingHealer, LineHealer, NoHeal, SelfHealer, SurrogateHealer,
+        BinaryTreeHealer, ForgivingGraphHealer, ForgivingHealer, LineHealer, NoHeal, SelfHealer,
+        SurrogateHealer,
     };
     pub use ft_core::distributed::DistributedForgivingTree;
-    pub use ft_core::{ForgivingTree, HealReport, HealStats, RoleKind};
+    pub use ft_core::{
+        fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph, ForgivingGraph,
+        ForgivingTree, Haft, HealReport, HealStats, RoleKind,
+    };
     pub use ft_graph::tree::RootedTree;
-    pub use ft_graph::{gen, Graph, NodeId};
+    pub use ft_graph::{gen, ChurnEvent, Graph, NodeId};
     pub use ft_metrics::{
-        run_stress, run_trial, StressConfig, StressRecord, Table, Trial, TrialConfig, Workload,
+        measure_stretch, run_graph_stress, run_stress, run_trial, GraphStressConfig,
+        GraphStressRecord, StressConfig, StressRecord, StretchReport, Table, Trial, TrialConfig,
+        Workload,
     };
     pub use ft_sim::bfs::distributed_bfs_tree;
     pub use ft_sim::{
         Campaign, CampaignConfig, CampaignReport, HealCadence, InFlightPolicy, MsgLedger,
+        SlotPolicy,
     };
 }

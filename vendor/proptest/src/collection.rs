@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+/// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
 pub trait IntoSizeRange {
     fn sample_len(&self, rng: &mut StdRng) -> usize;
 }
@@ -28,7 +28,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S,
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

@@ -54,7 +54,7 @@ pub trait Rng: RngCore {
         unit < p
     }
 
-    /// Sample a value of a [`distributions::Standard`]-style type.
+    /// Sample a value of a [`distributions::StandardSample`] type.
     fn gen<T: distributions::StandardSample>(&mut self) -> T {
         T::sample(self)
     }
