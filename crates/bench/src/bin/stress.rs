@@ -4,17 +4,24 @@
 //!
 //! **Tree model** — runs the three wave planners (random, targeted,
 //! heavy-tail) back to back at the default scale (n = 100 000, 1 000
-//! deletions in waves of 50) and writes the perf record of the *random*
-//! campaign — the reference configuration — to `BENCH_sim.json`.
+//! deletions in waves of 50), then re-runs the *random* reference campaign
+//! once sequentially and once sharded across `STRESS_THREADS` workers,
+//! asserts the two runs are byte-identical in every deterministic figure
+//! (the sharded engine's determinism contract), prints the speedup, and
+//! writes the sharded run's perf record to `BENCH_sim.json`.
 //!
-//! **Graph model** — runs the Forgiving Graph's mixed insert/delete churn
-//! campaign (default n = 10 000, 2 000 events, 40% insertions) and writes
-//! `BENCH_graph.json`; the run itself asserts balanced ledgers, consistent
-//! wills, and the O(log n) stretch/degree bounds.
+//! **Graph model** — same 1-thread-vs-N-thread protocol for the Forgiving
+//! Graph's mixed insert/delete churn campaign (default n = 10 000, 2 000
+//! events, 40% insertions), including the bit-identical stretch pass;
+//! writes `BENCH_graph.json`.
 //!
 //! Override the scales with `STRESS_NODES` / `STRESS_DELETIONS` /
-//! `STRESS_WAVE` / `STRESS_GRAPH_NODES` / `STRESS_GRAPH_EVENTS` (used by
-//! CI's smoke-scale run).
+//! `STRESS_WAVE` / `STRESS_GRAPH_NODES` / `STRESS_GRAPH_EVENTS` /
+//! `STRESS_THREADS` (used by CI's smoke-scale run). Note the speedup is
+//! hardware-bound: on fewer physical cores than `STRESS_THREADS` the
+//! sharded run shows dispatch overhead instead of a speedup — the records
+//! carry `threads` and `wall_ms` precisely so the trajectory is measured,
+//! not assumed.
 
 use ft_metrics::{run_graph_stress, run_stress, GraphStressConfig, StressConfig};
 
@@ -29,7 +36,8 @@ fn main() {
     let nodes = env_usize("STRESS_NODES", 100_000);
     let deletions = env_usize("STRESS_DELETIONS", 1_000);
     let wave_size = env_usize("STRESS_WAVE", 50);
-    let mut reference = None;
+    let threads = env_usize("STRESS_THREADS", 4).max(1);
+    let cadence = std::env::var("STRESS_CADENCE").unwrap_or_else(|_| "per-deletion".into());
     for planner in ["random", "targeted", "heavy-tail"] {
         let cfg = StressConfig {
             nodes,
@@ -38,25 +46,133 @@ fn main() {
             arity: 8,
             planner: planner.into(),
             seed: 42,
+            threads: 1,
+            cadence: cadence.clone(),
         };
         let rec = run_stress(&cfg);
         println!("{}", rec.summary());
-        if planner == "random" {
-            reference = Some(rec);
-        }
     }
-    let rec = reference.expect("random campaign ran");
-    std::fs::write("BENCH_sim.json", rec.to_json()).expect("write BENCH_sim.json");
+
+    // The reference campaign, sequential vs sharded: the deterministic
+    // figures must match exactly, and the wall-time pair is the recorded
+    // perf datapoint.
+    let reference = StressConfig {
+        nodes,
+        deletions,
+        wave_size,
+        arity: 8,
+        planner: "random".into(),
+        seed: 42,
+        threads: 1,
+        cadence,
+    };
+    let rec_1t = run_stress(&reference);
+    let rec_nt = run_stress(&StressConfig {
+        threads,
+        ..reference
+    });
+    assert_eq!(
+        (
+            rec_1t.waves,
+            rec_1t.deletions,
+            rec_1t.rounds,
+            rec_1t.live_remaining
+        ),
+        (
+            rec_nt.waves,
+            rec_nt.deletions,
+            rec_nt.rounds,
+            rec_nt.live_remaining
+        ),
+        "sharded campaign shape diverged from sequential"
+    );
+    assert_eq!(
+        (
+            rec_1t.sent,
+            rec_1t.delivered,
+            rec_1t.dropped,
+            rec_1t.notices
+        ),
+        (
+            rec_nt.sent,
+            rec_nt.delivered,
+            rec_nt.dropped,
+            rec_nt.notices
+        ),
+        "sharded ledger diverged from sequential"
+    );
+    assert_eq!(
+        (rec_1t.peak_per_node_load, rec_1t.max_per_node_total),
+        (rec_nt.peak_per_node_load, rec_nt.max_per_node_total),
+        "sharded load figures diverged from sequential"
+    );
+    println!(
+        "tree reference determinism OK: 1 thread {:.1} ms vs {} threads {:.1} ms \
+         (speedup {:.2}x)",
+        rec_1t.wall_ms,
+        threads,
+        rec_nt.wall_ms,
+        rec_1t.wall_ms / rec_nt.wall_ms.max(1e-9)
+    );
+    std::fs::write("BENCH_sim.json", rec_nt.to_json()).expect("write BENCH_sim.json");
     println!("wrote BENCH_sim.json");
 
-    let graph_cfg = GraphStressConfig {
+    let graph_reference = GraphStressConfig {
         nodes: env_usize("STRESS_GRAPH_NODES", 10_000),
         events: env_usize("STRESS_GRAPH_EVENTS", 2_000),
         wave_size,
+        threads: 1,
         ..GraphStressConfig::default()
     };
-    let graph_rec = run_graph_stress(&graph_cfg);
-    println!("{}", graph_rec.summary());
-    std::fs::write("BENCH_graph.json", graph_rec.to_json()).expect("write BENCH_graph.json");
+    let graph_1t = run_graph_stress(&graph_reference);
+    println!("{}", graph_1t.summary());
+    let graph_nt = run_graph_stress(&GraphStressConfig {
+        threads,
+        ..graph_reference
+    });
+    assert_eq!(
+        (
+            graph_1t.waves,
+            graph_1t.insertions,
+            graph_1t.deletions,
+            graph_1t.rounds
+        ),
+        (
+            graph_nt.waves,
+            graph_nt.insertions,
+            graph_nt.deletions,
+            graph_nt.rounds
+        ),
+        "sharded graph campaign shape diverged from sequential"
+    );
+    assert_eq!(
+        (
+            graph_1t.sent,
+            graph_1t.delivered,
+            graph_1t.notices,
+            graph_1t.joins
+        ),
+        (
+            graph_nt.sent,
+            graph_nt.delivered,
+            graph_nt.notices,
+            graph_nt.joins
+        ),
+        "sharded graph ledger diverged from sequential"
+    );
+    assert_eq!(
+        graph_1t.stretch, graph_nt.stretch,
+        "sharded stretch pass diverged from sequential"
+    );
+    println!(
+        "graph reference determinism OK: 1 thread {:.1} ms (+{:.1} ms stretch) vs \
+         {} threads {:.1} ms (+{:.1} ms stretch)",
+        graph_1t.wall_ms,
+        graph_1t.stretch_wall_ms,
+        threads,
+        graph_nt.wall_ms,
+        graph_nt.stretch_wall_ms
+    );
+    std::fs::write("BENCH_graph.json", graph_nt.to_json()).expect("write BENCH_graph.json");
     println!("wrote BENCH_graph.json");
 }

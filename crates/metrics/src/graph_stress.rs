@@ -14,7 +14,7 @@
 //! either O(log n) bound is exceeded, so it doubles as the end-to-end
 //! acceptance check in CI.
 
-use crate::stretch::{measure_stretch, StretchReport};
+use crate::stretch::{measure_stretch_mt, StretchReport};
 use ft_adversary::{make_churn_planner, AdversaryView};
 use ft_core::{fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph};
 use ft_graph::gen;
@@ -42,6 +42,10 @@ pub struct GraphStressConfig {
     pub seed: u64,
     /// BFS sources sampled by the stretch pass.
     pub stretch_sources: usize,
+    /// Worker threads: shards the round engine's heavy rounds *and* the
+    /// stretch pass's BFS sources (1 = sequential; results are
+    /// byte-identical for any value).
+    pub threads: usize,
 }
 
 impl Default for GraphStressConfig {
@@ -55,6 +59,7 @@ impl Default for GraphStressConfig {
             planner: String::from("mixed"),
             seed: 42,
             stretch_sources: 16,
+            threads: 1,
         }
     }
 }
@@ -74,9 +79,16 @@ pub struct GraphStressRecord {
     pub rounds: u64,
     /// Live nodes remaining.
     pub live_remaining: usize,
+    /// Worker threads the campaign (and stretch pass) ran with.
+    pub threads: usize,
     /// Wall-clock seconds for the campaign (setup and stretch pass
     /// excluded).
     pub elapsed_secs: f64,
+    /// The same wall time in milliseconds (the perf-trajectory datapoint).
+    pub wall_ms: f64,
+    /// Wall-clock milliseconds of the sampled stretch pass (the other
+    /// sharded hot path).
+    pub stretch_wall_ms: f64,
     /// Healed churn events per second.
     pub events_per_sec: f64,
     /// Delivered messages (notices and joins included) per second.
@@ -110,6 +122,9 @@ pub struct GraphStressRecord {
     /// Whether degree and stretch stayed within the O(log n) bounds
     /// (always true on return — violations panic).
     pub within_bounds: bool,
+    /// Whether every heal phase reached quiescence within its round budget
+    /// (always true on return — a truncated heal panics the harness).
+    pub converged: bool,
 }
 
 impl GraphStressRecord {
@@ -132,7 +147,10 @@ impl GraphStressRecord {
                 "  \"deletions\": {},\n",
                 "  \"rounds\": {},\n",
                 "  \"live_remaining\": {},\n",
+                "  \"threads\": {},\n",
                 "  \"elapsed_secs\": {:.6},\n",
+                "  \"wall_ms\": {:.3},\n",
+                "  \"stretch_wall_ms\": {:.3},\n",
                 "  \"events_per_sec\": {:.1},\n",
                 "  \"msgs_per_sec\": {:.1},\n",
                 "  \"peak_per_node_load\": {},\n",
@@ -151,7 +169,8 @@ impl GraphStressRecord {
                 "  \"mean_stretch\": {:.4},\n",
                 "  \"stretch_bound\": {:.1},\n",
                 "  \"balanced\": {},\n",
-                "  \"within_bounds\": {}\n",
+                "  \"within_bounds\": {},\n",
+                "  \"converged\": {}\n",
                 "}}\n"
             ),
             self.config.nodes,
@@ -166,7 +185,10 @@ impl GraphStressRecord {
             self.deletions,
             self.rounds,
             self.live_remaining,
+            self.threads,
             self.elapsed_secs,
+            self.wall_ms,
+            self.stretch_wall_ms,
             self.events_per_sec,
             self.msgs_per_sec,
             self.peak_per_node_load,
@@ -186,6 +208,7 @@ impl GraphStressRecord {
             self.stretch_bound,
             self.balanced,
             self.within_bounds,
+            self.converged,
         )
     }
 
@@ -233,16 +256,20 @@ fn initial_graph(cfg: &GraphStressConfig, rng: &mut StdRng) -> ft_graph::Graph {
 /// Runs the graph-model stress campaign described by `cfg`.
 ///
 /// # Panics
-/// Panics on an unknown planner name, a heal that fails to quiesce, a
-/// message-ledger imbalance, a failed will audit, lost connectivity, or an
-/// O(log n) bound violation — a non-zero exit is the CI failure signal.
+/// Panics on an unknown planner name, a heal that fails to quiesce within
+/// its round budget (non-convergence), a message-ledger imbalance, a failed
+/// will audit, lost connectivity, or an O(log n) bound violation — a
+/// non-zero exit is the CI failure signal.
 pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let g = initial_graph(cfg, &mut rng);
     let mut dist = DistributedForgivingGraph::new(&g);
     let mut planner = make_churn_planner(&cfg.planner, cfg.seed, cfg.insert_fraction)
         .unwrap_or_else(|| panic!("unknown churn planner: {}", cfg.planner));
-    let mut campaign = Campaign::new(CampaignConfig::default());
+    let mut campaign = Campaign::new(CampaignConfig {
+        threads: cfg.threads.max(1),
+        ..CampaignConfig::default()
+    });
 
     let start = Instant::now();
     let mut remaining = cfg.events;
@@ -266,6 +293,10 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     dist.network()
         .check_accounting()
         .expect("message ledger imbalance after graph stress campaign");
+    assert!(
+        campaign.report().converged,
+        "a heal phase was truncated by the round budget (non-convergence)"
+    );
     dist.check_wills()
         .expect("stale wills after graph stress campaign");
     assert!(
@@ -277,7 +308,15 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     let degree_bound = fg_degree_bound(capacity);
     let stretch_bound = fg_stretch_bound(capacity);
     let max_degree_increase = dist.max_degree_increase();
-    let stretch = measure_stretch(dist.graph(), dist.pristine(), cfg.stretch_sources, cfg.seed);
+    let stretch_start = Instant::now();
+    let stretch = measure_stretch_mt(
+        dist.graph(),
+        dist.pristine(),
+        cfg.stretch_sources,
+        cfg.seed,
+        cfg.threads.max(1),
+    );
+    let stretch_wall_ms = stretch_start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         stretch.disconnected_pairs, 0,
         "surviving pair unreachable in the healed graph"
@@ -300,7 +339,10 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         deletions: report.deletions,
         rounds: report.rounds,
         live_remaining: dist.len(),
+        threads: cfg.threads.max(1),
         elapsed_secs: elapsed,
+        wall_ms: elapsed * 1e3,
+        stretch_wall_ms,
         events_per_sec: (report.insertions + report.deletions) as f64 / elapsed,
         msgs_per_sec: ledger.total_messages() as f64 / elapsed,
         peak_per_node_load: report.peak_round_load,
@@ -317,6 +359,7 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         stretch_bound,
         balanced: true,
         within_bounds: true,
+        converged: true,
         config: cfg.clone(),
     }
 }
@@ -337,15 +380,62 @@ mod tests {
                 planner: planner.into(),
                 seed: 3,
                 stretch_sources: 8,
+                threads: 1,
             };
             let rec = run_graph_stress(&cfg);
             assert_eq!(rec.insertions + rec.deletions, 80, "{planner}");
             assert!(rec.insertions > 0, "{planner} inserted");
-            assert!(rec.balanced && rec.within_bounds);
+            assert!(rec.balanced && rec.within_bounds && rec.converged);
             assert!(rec.joins > 0, "join notices on the books");
             assert_eq!(rec.total_messages, rec.delivered + rec.notices + rec.joins);
             assert!(rec.stretch.max_stretch >= 1.0);
         }
+    }
+
+    /// Same seed, different thread counts: every deterministic figure of
+    /// the record — campaign, ledger, degree, *and* the floating-point
+    /// stretch pass — must be identical.
+    #[test]
+    fn threaded_graph_record_matches_sequential() {
+        let base = GraphStressConfig {
+            nodes: 300,
+            events: 90,
+            wave_size: 9,
+            insert_fraction: 0.4,
+            extra_edges: 0.2,
+            planner: "mixed".into(),
+            seed: 17,
+            stretch_sources: 8,
+            threads: 1,
+        };
+        let rec1 = run_graph_stress(&base);
+        let rec4 = run_graph_stress(&GraphStressConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        assert_eq!(
+            (rec1.waves, rec1.insertions, rec1.deletions, rec1.rounds),
+            (rec4.waves, rec4.insertions, rec4.deletions, rec4.rounds)
+        );
+        assert_eq!(
+            (
+                rec1.sent,
+                rec1.delivered,
+                rec1.dropped,
+                rec1.notices,
+                rec1.joins
+            ),
+            (
+                rec4.sent,
+                rec4.delivered,
+                rec4.dropped,
+                rec4.notices,
+                rec4.joins
+            )
+        );
+        assert_eq!(rec1.max_per_node_total, rec4.max_per_node_total);
+        assert_eq!(rec1.max_degree_increase, rec4.max_degree_increase);
+        assert_eq!(rec1.stretch, rec4.stretch, "stretch pass bit-identical");
     }
 
     #[test]
@@ -359,6 +449,7 @@ mod tests {
             planner: "mixed".into(),
             seed: 2,
             stretch_sources: 4,
+            threads: 2,
         });
         let json = rec.to_json();
         assert!(json.starts_with("{\n"));
@@ -367,6 +458,9 @@ mod tests {
         assert!(json.contains("\"joins\""));
         assert!(json.contains("\"max_stretch\""));
         assert!(json.contains("\"within_bounds\": true"));
-        assert_eq!(json.matches(':').count(), 33, "33 fields");
+        assert!(json.contains("\"converged\": true"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"wall_ms\""));
+        assert_eq!(json.matches(':').count(), 37, "37 fields");
     }
 }

@@ -22,6 +22,6 @@ pub use graph_stress::{run_graph_stress, GraphStressConfig, GraphStressRecord};
 pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
 pub use stats::{log_log_slope, Summary};
 pub use stress::{run_stress, StressConfig, StressRecord};
-pub use stretch::{measure_stretch, StretchReport};
+pub use stretch::{measure_stretch, measure_stretch_mt, StretchReport};
 pub use table::Table;
 pub use workload::Workload;

@@ -15,7 +15,7 @@ use ft_adversary::{make_wave_planner, AdversaryView};
 use ft_core::distributed::DistributedForgivingTree;
 use ft_graph::tree::RootedTree;
 use ft_graph::{gen, NodeId};
-use ft_sim::{Campaign, CampaignConfig};
+use ft_sim::{Campaign, CampaignConfig, HealCadence};
 use std::time::Instant;
 
 /// Stress-campaign parameters.
@@ -33,6 +33,18 @@ pub struct StressConfig {
     pub planner: String,
     /// RNG seed for the planner.
     pub seed: u64,
+    /// Worker threads the round engine shards heavy rounds across
+    /// (1 = sequential; results are byte-identical for any value).
+    pub threads: usize,
+    /// Heal cadence: `per-deletion` (Model 2.1, the default) or `per-wave`
+    /// (the whole wave strikes before recovery runs — heavier recovery
+    /// rounds, the regime where sharding has real per-round work).
+    /// **Caveat**: the Forgiving Tree protocol is specified for one
+    /// deletion per time step; under `per-wave` a victim's will-holders
+    /// can die with it and the heal may lose connectivity, which the
+    /// harness then reports by panicking — that failure is the honest
+    /// measurement of an out-of-contract adversary.
+    pub cadence: String,
 }
 
 impl Default for StressConfig {
@@ -44,6 +56,8 @@ impl Default for StressConfig {
             arity: 8,
             planner: String::from("random"),
             seed: 42,
+            threads: 1,
+            cadence: String::from("per-deletion"),
         }
     }
 }
@@ -61,8 +75,12 @@ pub struct StressRecord {
     pub rounds: u64,
     /// Live nodes remaining.
     pub live_remaining: usize,
+    /// Worker threads the campaign ran with.
+    pub threads: usize,
     /// Wall-clock seconds for the campaign (setup excluded).
     pub elapsed_secs: f64,
+    /// The same wall time in milliseconds (the perf-trajectory datapoint).
+    pub wall_ms: f64,
     /// Healed deletions per second.
     pub nodes_per_sec: f64,
     /// Delivered messages (notices included) per second.
@@ -84,6 +102,9 @@ pub struct StressRecord {
     /// Whether both ledger identities held at the end (always true when
     /// `run_stress` returns — it panics otherwise).
     pub balanced: bool,
+    /// Whether every heal phase reached quiescence within its round budget
+    /// (always true on return — a truncated heal panics `run_stress`).
+    pub converged: bool,
 }
 
 impl StressRecord {
@@ -97,13 +118,16 @@ impl StressRecord {
                 "  \"nodes\": {},\n",
                 "  \"arity\": {},\n",
                 "  \"planner\": \"{}\",\n",
+                "  \"cadence\": \"{}\",\n",
                 "  \"seed\": {},\n",
                 "  \"wave_size\": {},\n",
                 "  \"waves\": {},\n",
                 "  \"deletions\": {},\n",
                 "  \"rounds\": {},\n",
                 "  \"live_remaining\": {},\n",
+                "  \"threads\": {},\n",
                 "  \"elapsed_secs\": {:.6},\n",
+                "  \"wall_ms\": {:.3},\n",
                 "  \"nodes_per_sec\": {:.1},\n",
                 "  \"msgs_per_sec\": {:.1},\n",
                 "  \"peak_per_node_load\": {},\n",
@@ -113,19 +137,23 @@ impl StressRecord {
                 "  \"dropped\": {},\n",
                 "  \"notices\": {},\n",
                 "  \"total_messages\": {},\n",
-                "  \"balanced\": {}\n",
+                "  \"balanced\": {},\n",
+                "  \"converged\": {}\n",
                 "}}\n"
             ),
             self.config.nodes,
             self.config.arity,
             self.config.planner,
+            self.config.cadence,
             self.config.seed,
             self.config.wave_size,
             self.waves,
             self.deletions,
             self.rounds,
             self.live_remaining,
+            self.threads,
             self.elapsed_secs,
+            self.wall_ms,
             self.nodes_per_sec,
             self.msgs_per_sec,
             self.peak_per_node_load,
@@ -136,18 +164,22 @@ impl StressRecord {
             self.notices,
             self.total_messages,
             self.balanced,
+            self.converged,
         )
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} deletions over {} waves on n={} ({} planner): {:.2}s, \
-             {:.0} deletions/s, {:.0} msgs/s, peak node load {}, books balanced",
+            "{} deletions over {} waves on n={} ({} planner, {} thread{}): \
+             {:.2}s, {:.0} deletions/s, {:.0} msgs/s, peak node load {}, \
+             books balanced",
             self.deletions,
             self.waves,
             self.config.nodes,
             self.config.planner,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
             self.elapsed_secs,
             self.nodes_per_sec,
             self.msgs_per_sec,
@@ -159,7 +191,8 @@ impl StressRecord {
 /// Runs the stress campaign described by `cfg`.
 ///
 /// # Panics
-/// Panics on an unknown planner name, a heal that fails to quiesce, or a
+/// Panics on an unknown planner name, a heal that fails to quiesce within
+/// its round budget (`converged = false` in the campaign report), or a
 /// message-ledger imbalance — a non-zero exit is the CI failure signal.
 pub fn run_stress(cfg: &StressConfig) -> StressRecord {
     let g = gen::kary_tree(cfg.nodes, cfg.arity.max(2));
@@ -167,7 +200,16 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
     let mut dist = DistributedForgivingTree::new(&tree);
     let mut planner = make_wave_planner(&cfg.planner, cfg.seed)
         .unwrap_or_else(|| panic!("unknown wave planner: {}", cfg.planner));
-    let mut campaign = Campaign::new(CampaignConfig::default());
+    let cadence = match cfg.cadence.as_str() {
+        "per-deletion" => HealCadence::PerDeletion,
+        "per-wave" => HealCadence::PerWave,
+        other => panic!("unknown heal cadence: {other} (per-deletion | per-wave)"),
+    };
+    let mut campaign = Campaign::new(CampaignConfig {
+        threads: cfg.threads.max(1),
+        cadence,
+        ..CampaignConfig::default()
+    });
 
     let start = Instant::now();
     let mut remaining = cfg.deletions.min(cfg.nodes.saturating_sub(1));
@@ -191,6 +233,14 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
     dist.network()
         .check_accounting()
         .expect("message ledger imbalance after stress campaign");
+    assert!(
+        campaign.report().converged,
+        "a heal phase was truncated by the round budget (non-convergence)"
+    );
+    assert!(
+        dist.graph().is_connected(),
+        "healer lost connectivity during the stress campaign"
+    );
     let ledger = dist.ledger();
     let report = campaign.report();
     StressRecord {
@@ -198,7 +248,9 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         deletions: report.deletions,
         rounds: report.rounds,
         live_remaining: dist.len(),
+        threads: cfg.threads.max(1),
         elapsed_secs: elapsed,
+        wall_ms: elapsed * 1e3,
         nodes_per_sec: report.deletions as f64 / elapsed,
         msgs_per_sec: ledger.total_messages() as f64 / elapsed,
         peak_per_node_load: report.peak_round_load,
@@ -209,6 +261,7 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         notices: ledger.notices(),
         total_messages: ledger.total_messages(),
         balanced: true,
+        converged: true,
         config: cfg.clone(),
     }
 }
@@ -227,14 +280,54 @@ mod tests {
                 arity: 4,
                 planner: planner.into(),
                 seed: 1,
+                threads: 1,
+                cadence: "per-deletion".into(),
             };
             let rec = run_stress(&cfg);
             assert_eq!(rec.deletions, 60, "{planner}");
-            assert!(rec.balanced);
+            assert!(rec.balanced && rec.converged);
             assert_eq!(rec.live_remaining, 240);
             assert_eq!(rec.total_messages, rec.delivered + rec.notices);
             assert!(rec.peak_per_node_load > 0);
         }
+    }
+
+    /// The acceptance property at harness level: identical seeds at any
+    /// thread count produce identical campaign figures and ledger books.
+    #[test]
+    fn threaded_campaign_record_matches_sequential() {
+        let base = StressConfig {
+            nodes: 600,
+            deletions: 120,
+            wave_size: 12,
+            arity: 4,
+            planner: "heavy-tail".into(),
+            seed: 9,
+            threads: 1,
+            cadence: "per-deletion".into(),
+        };
+        let rec1 = run_stress(&base);
+        let rec4 = run_stress(&StressConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        let fingerprint = |r: &StressRecord| {
+            (
+                r.waves,
+                r.deletions,
+                r.rounds,
+                r.live_remaining,
+                r.peak_per_node_load,
+                r.max_per_node_total,
+                r.sent,
+                r.delivered,
+                r.dropped,
+                r.notices,
+                r.total_messages,
+            )
+        };
+        assert_eq!(fingerprint(&rec1), fingerprint(&rec4));
+        assert_eq!(rec4.threads, 4);
     }
 
     #[test]
@@ -246,12 +339,18 @@ mod tests {
             arity: 3,
             planner: "random".into(),
             seed: 2,
+            threads: 2,
+            cadence: "per-deletion".into(),
         });
         let json = rec.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"nodes_per_sec\""));
         assert!(json.contains("\"balanced\": true"));
-        assert_eq!(json.matches(':').count(), 21, "21 fields");
+        assert!(json.contains("\"converged\": true"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"cadence\": \"per-deletion\""));
+        assert!(json.contains("\"wall_ms\""));
+        assert_eq!(json.matches(':').count(), 25, "25 fields");
     }
 }

@@ -10,6 +10,19 @@
 //! compares the two distance fields pairwise, so the cost is
 //! `O(sources · (V + E))` rather than all-pairs — at 10⁴ nodes a full
 //! campaign's stretch pass runs in milliseconds and scales to 10⁵⁺.
+//!
+//! Pairs are counted **once**: when both endpoints of a surviving pair are
+//! sampled as sources, the pair is charged to its lower-ID endpoint only,
+//! so `pairs`, `mean_stretch`, and `disconnected_pairs` are counts over
+//! *unordered* pairs (an earlier version double-counted source–source
+//! pairs, silently inflating `pairs` and biasing `mean_stretch` toward
+//! whatever the source set happened to oversample).
+//!
+//! The pass is shardable: [`measure_stretch_mt`] splits the sampled sources
+//! across worker threads (each BFS is independent) and folds the per-source
+//! partial results **in sample order**, so every figure — including the
+//! floating-point `mean_stretch` accumulation — is bit-identical to the
+//! single-threaded pass.
 
 use ft_graph::bfs::bfs_distances;
 use ft_graph::{Graph, NodeId};
@@ -22,7 +35,7 @@ use rand::SeedableRng;
 pub struct StretchReport {
     /// BFS sources sampled.
     pub sources: usize,
-    /// Surviving pairs compared.
+    /// Surviving unordered pairs compared (each counted once).
     pub pairs: usize,
     /// Worst observed `d_healed / d_pristine`.
     pub max_stretch: f64,
@@ -35,9 +48,57 @@ pub struct StretchReport {
     pub disconnected_pairs: usize,
 }
 
+/// Everything one source's BFS pass contributes, folded in sample order so
+/// sharded and sequential passes accumulate identically.
+#[derive(Clone, Copy, Debug, Default)]
+struct SourcePass {
+    pairs: usize,
+    sum: f64,
+    max_stretch: f64,
+    max_healed_distance: u32,
+    disconnected: usize,
+}
+
+/// Runs one source's BFS pair comparison. Iterates survivors in ascending
+/// `NodeId` order (deterministic — never the hash-map iteration order of
+/// the distance field) and skips pairs owned by a lower-ID sampled source.
+fn source_pass(healed: &Graph, pristine: &Graph, src: NodeId, sampled: &[bool]) -> SourcePass {
+    let dh = bfs_distances(healed, src);
+    let dp = bfs_distances(pristine, src);
+    let mut pass = SourcePass::default();
+    for v in healed.nodes() {
+        if v == src {
+            continue;
+        }
+        // {src, v} with both endpoints sampled would be visited from each
+        // side; the lower-ID endpoint owns the pair.
+        if v < src && sampled.get(v.index()).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(&pd) = dp.get(&v) else {
+            // not reachable in the pristine graph either: no pair to score
+            continue;
+        };
+        match dh.get(&v) {
+            None => pass.disconnected += 1,
+            Some(&hd) => {
+                let s = f64::from(hd) / f64::from(pd);
+                pass.pairs += 1;
+                pass.sum += s;
+                if s > pass.max_stretch {
+                    pass.max_stretch = s;
+                }
+                pass.max_healed_distance = pass.max_healed_distance.max(hd);
+            }
+        }
+    }
+    pass
+}
+
 /// Samples up to `sources` BFS sources (seeded, reproducible) among the
 /// nodes alive in `healed` and measures the distance stretch of every
-/// surviving pair involving a sampled source.
+/// surviving pair involving a sampled source, each unordered pair counted
+/// once. Equivalent to [`measure_stretch_mt`] with one thread.
 ///
 /// Nodes alive in `healed` must exist in `pristine` (the engines guarantee
 /// this: insertions grow both graphs in lockstep).
@@ -47,36 +108,74 @@ pub fn measure_stretch(
     sources: usize,
     seed: u64,
 ) -> StretchReport {
+    measure_stretch_mt(healed, pristine, sources, seed, 1)
+}
+
+/// [`measure_stretch`] with the BFS sources sharded across `threads`
+/// worker threads. Results are bit-identical for any thread count: each
+/// worker owns a contiguous run of the sampled sources and the per-source
+/// partials are folded in sample order on the calling thread.
+pub fn measure_stretch_mt(
+    healed: &Graph,
+    pristine: &Graph,
+    sources: usize,
+    seed: u64,
+    threads: usize,
+) -> StretchReport {
     let mut survivors: Vec<NodeId> = healed.nodes().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     survivors.shuffle(&mut rng);
     let picked: Vec<NodeId> = survivors.iter().copied().take(sources.max(1)).collect();
+    let mut sampled = vec![false; healed.capacity()];
+    for &s in &picked {
+        sampled[s.index()] = true;
+    }
+
+    let threads = threads.max(1).min(picked.len().max(1));
+    let passes: Vec<SourcePass> = if threads <= 1 {
+        picked
+            .iter()
+            .map(|&src| source_pass(healed, pristine, src, &sampled))
+            .collect()
+    } else {
+        // One contiguous chunk of the sample per worker; worker results are
+        // re-concatenated in sample order below, so the fold cannot tell
+        // the difference from the sequential pass.
+        let sampled = &sampled;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = picked.len() * t / threads;
+                    let hi = picked.len() * (t + 1) / threads;
+                    let chunk = &picked[lo..hi];
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&src| source_pass(healed, pristine, src, sampled))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("stretch worker"))
+                .collect()
+        })
+    };
 
     let mut report = StretchReport {
         sources: picked.len(),
         ..StretchReport::default()
     };
     let mut sum = 0.0f64;
-    for &src in &picked {
-        let dh = bfs_distances(healed, src);
-        let dp = bfs_distances(pristine, src);
-        for (&v, &pd) in dp.iter() {
-            if v == src || !healed.is_alive(v) || pd == 0 {
-                continue;
-            }
-            match dh.get(&v) {
-                None => report.disconnected_pairs += 1,
-                Some(&hd) => {
-                    let s = f64::from(hd) / f64::from(pd);
-                    report.pairs += 1;
-                    sum += s;
-                    if s > report.max_stretch {
-                        report.max_stretch = s;
-                    }
-                    report.max_healed_distance = report.max_healed_distance.max(hd);
-                }
-            }
+    for pass in &passes {
+        report.pairs += pass.pairs;
+        sum += pass.sum;
+        if pass.max_stretch > report.max_stretch {
+            report.max_stretch = pass.max_stretch;
         }
+        report.max_healed_distance = report.max_healed_distance.max(pass.max_healed_distance);
+        report.disconnected_pairs += pass.disconnected;
     }
     if report.pairs > 0 {
         report.mean_stretch = sum / report.pairs as f64;
@@ -129,7 +228,61 @@ mod tests {
         healed.delete_node(NodeId(1));
         healed.add_edge(NodeId(0), NodeId(2));
         let r = measure_stretch(&healed, &pristine, 3, 7);
-        assert_eq!(r.pairs, 2, "only the surviving pair, from both sources");
+        assert_eq!(r.pairs, 1, "both survivors sampled: the pair counts once");
         assert_eq!(r.max_stretch, 0.5, "the heal shortened the route");
+    }
+
+    #[test]
+    fn every_pair_counted_exactly_once_under_full_sampling() {
+        // every live node sampled ⇒ pairs must be exactly C(n, 2)
+        let g = gen::cycle(7);
+        let r = measure_stretch(&g, &g, 7, 11);
+        assert_eq!(r.sources, 7);
+        assert_eq!(r.pairs, 7 * 6 / 2, "unordered pairs, no double count");
+        // and on a disconnected healed graph the missing pairs are
+        // likewise deduped
+        let mut healed = g.clone();
+        healed.remove_edge(NodeId(0), NodeId(1));
+        healed.remove_edge(NodeId(3), NodeId(4));
+        let r = measure_stretch(&healed, &g, 7, 11);
+        assert_eq!(
+            r.pairs + r.disconnected_pairs,
+            7 * 6 / 2,
+            "connected + lost pairs partition the unordered pair set"
+        );
+    }
+
+    #[test]
+    fn sharded_pass_is_bit_identical_to_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let pristine = {
+            let mut g = gen::random_tree(400, &mut rng);
+            for _ in 0..80 {
+                let a = NodeId(rng.gen_range(0..400u32));
+                let b = NodeId(rng.gen_range(0..400u32));
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        };
+        let mut healed = pristine.clone();
+        // delete a handful of nodes and patch their neighborhoods closed
+        for dead in [7u32, 42, 99, 250] {
+            let nbrs: Vec<NodeId> = healed.neighbors(NodeId(dead)).collect();
+            healed.delete_node(NodeId(dead));
+            for w in nbrs.windows(2) {
+                if !healed.has_edge(w[0], w[1]) {
+                    healed.add_edge(w[0], w[1]);
+                }
+            }
+        }
+        let seq = measure_stretch_mt(&healed, &pristine, 24, 5, 1);
+        for threads in [2, 3, 4, 7] {
+            let par = measure_stretch_mt(&healed, &pristine, 24, 5, threads);
+            assert_eq!(seq, par, "threads={threads} diverged");
+        }
+        assert!(seq.pairs > 0);
     }
 }

@@ -39,8 +39,14 @@ pub enum HealCadence {
 pub struct CampaignConfig {
     /// Heal interleaving.
     pub cadence: HealCadence,
-    /// Round budget per heal phase; exceeding it panics (non-quiescence).
+    /// Round budget per heal phase. A heal that exhausts it is truncated
+    /// and recorded as non-converged ([`WaveStats::converged`]) rather
+    /// than panicking — callers that need quiescence check the flag.
     pub max_rounds_per_heal: u32,
+    /// Worker threads the round engine shards heavy rounds across
+    /// (applied to the network via [`Network::set_threads`]; 1 = fully
+    /// sequential). Results are byte-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -48,6 +54,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             cadence: HealCadence::PerDeletion,
             max_rounds_per_heal: 64,
+            threads: 1,
         }
     }
 }
@@ -71,6 +78,11 @@ pub struct WaveStats {
     pub edges_added: usize,
     /// Edges dropped by the healers.
     pub edges_removed: usize,
+    /// `false` iff some heal phase of this wave exhausted
+    /// [`CampaignConfig::max_rounds_per_heal`] with mail still in flight —
+    /// a truncated heal is *not* convergence and must not be mistaken for
+    /// one.
+    pub converged: bool,
 }
 
 impl WaveStats {
@@ -84,7 +96,7 @@ impl WaveStats {
 }
 
 /// Whole-campaign aggregates.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CampaignReport {
     /// Waves applied.
     pub waves: usize,
@@ -105,6 +117,27 @@ pub struct CampaignReport {
     pub edges_added: usize,
     /// Total edges dropped.
     pub edges_removed: usize,
+    /// `true` iff **every** heal phase of every wave reached quiescence
+    /// within its round budget. Stress harnesses fail on `false`.
+    pub converged: bool,
+}
+
+impl Default for CampaignReport {
+    fn default() -> Self {
+        CampaignReport {
+            waves: 0,
+            deletions: 0,
+            insertions: 0,
+            rounds: 0,
+            messages: 0,
+            peak_round_load: 0,
+            worst_wave_rounds: 0,
+            edges_added: 0,
+            edges_removed: 0,
+            // vacuously true until a wave says otherwise
+            converged: true,
+        }
+    }
 }
 
 /// The campaign driver; owns nothing but configuration and the running
@@ -155,16 +188,36 @@ impl Campaign {
         &self.cfg
     }
 
+    /// Heals to quiescence (or the round budget) with the sharded engine,
+    /// folding rounds and the convergence verdict into the wave.
+    fn heal<P>(&self, net: &mut Network<P>, ws: &mut WaveStats)
+    where
+        P: Process + Send,
+        P::Msg: Send,
+    {
+        let (rounds, merged, converged) =
+            net.run_until_quiet_capped_mt(self.cfg.max_rounds_per_heal);
+        ws.absorb(&merged, rounds);
+        ws.converged &= converged;
+    }
+
     /// Applies one wave of deletions to `net` with interleaved heals.
     ///
     /// Victims must be distinct and alive (plan them against `net.graph()`).
+    /// A heal that exhausts the round budget truncates the wave's recovery
+    /// and is reported via [`WaveStats::converged`] — it does not panic.
     ///
     /// # Panics
-    /// Panics if a victim is dead or a heal phase fails to quiesce within
-    /// the configured round budget.
-    pub fn run_wave<P: Process>(&mut self, net: &mut Network<P>, victims: &[NodeId]) -> WaveStats {
+    /// Panics if a victim is dead.
+    pub fn run_wave<P>(&mut self, net: &mut Network<P>, victims: &[NodeId]) -> WaveStats
+    where
+        P: Process + Send,
+        P::Msg: Send,
+    {
+        net.set_threads(self.cfg.threads);
         let mut ws = WaveStats {
             wave: self.report.waves,
+            converged: true,
             ..WaveStats::default()
         };
         match self.cfg.cadence {
@@ -173,8 +226,7 @@ impl Campaign {
                     let notice = net.delete_node(v);
                     ws.deletions += 1;
                     ws.absorb(&notice, 1);
-                    let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
-                    ws.absorb(&merged, rounds);
+                    self.heal(net, &mut ws);
                 }
             }
             HealCadence::PerWave => {
@@ -183,8 +235,7 @@ impl Campaign {
                     ws.deletions += 1;
                     ws.absorb(&notice, 1);
                 }
-                let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
-                ws.absorb(&merged, rounds);
+                self.heal(net, &mut ws);
             }
         }
         self.absorb_wave(&ws);
@@ -197,19 +248,26 @@ impl Campaign {
     /// `make` builds the process for each inserted node from its assigned
     /// ID and the live neighbors it was wired to. Insert events whose
     /// neighbors have all died earlier in the wave are skipped; victims
-    /// must be alive when their event applies.
+    /// must be alive when their event applies. A heal that exhausts the
+    /// round budget truncates the wave's recovery and is reported via
+    /// [`WaveStats::converged`] — it does not panic.
     ///
     /// # Panics
-    /// Panics if a delete victim is dead or a heal phase fails to quiesce
-    /// within the configured round budget.
-    pub fn run_churn_wave<P: Process>(
+    /// Panics if a delete victim is dead.
+    pub fn run_churn_wave<P>(
         &mut self,
         net: &mut Network<P>,
         events: &[ChurnEvent],
         mut make: impl FnMut(NodeId, &[NodeId]) -> P,
-    ) -> WaveStats {
+    ) -> WaveStats
+    where
+        P: Process + Send,
+        P::Msg: Send,
+    {
+        net.set_threads(self.cfg.threads);
         let mut ws = WaveStats {
             wave: self.report.waves,
+            converged: true,
             ..WaveStats::default()
         };
         let mut apply = |net: &mut Network<P>, ev: &ChurnEvent, ws: &mut WaveStats| {
@@ -238,16 +296,14 @@ impl Campaign {
             HealCadence::PerDeletion => {
                 for ev in events {
                     apply(net, ev, &mut ws);
-                    let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
-                    ws.absorb(&merged, rounds);
+                    self.heal(net, &mut ws);
                 }
             }
             HealCadence::PerWave => {
                 for ev in events {
                     apply(net, ev, &mut ws);
                 }
-                let (rounds, merged) = net.run_until_quiet(self.cfg.max_rounds_per_heal);
-                ws.absorb(&merged, rounds);
+                self.heal(net, &mut ws);
             }
         }
         self.absorb_wave(&ws);
@@ -264,6 +320,7 @@ impl Campaign {
         self.report.worst_wave_rounds = self.report.worst_wave_rounds.max(ws.rounds);
         self.report.edges_added += ws.edges_added;
         self.report.edges_removed += ws.edges_removed;
+        self.report.converged &= ws.converged;
     }
 }
 
@@ -327,6 +384,7 @@ mod tests {
         let mut campaign = Campaign::new(CampaignConfig {
             cadence: HealCadence::PerWave,
             max_rounds_per_heal: 16,
+            threads: 1,
         });
         let ws = campaign.run_wave(&mut net, &[NodeId(0), NodeId(15)]);
         assert_eq!(ws.deletions, 2);

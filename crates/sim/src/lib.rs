@@ -24,8 +24,9 @@
 //! - Every count — per-round [`RoundStats`], totals, per-node books —
 //!   derives from one [`MsgLedger`] charged at delivery time (deletion
 //!   notices included), enforcing `sent = delivered + dropped + in-flight`
-//!   and `sum(per-node) = 2·total − notices`; audit any network with
-//!   [`Network::check_accounting`].
+//!   and `sum(per-node) + retired = 2·total − notices − joins` (per-node
+//!   books are per *incarnation*: slot reuse retires the dead node's
+//!   charges); audit any network with [`Network::check_accounting`].
 //!
 //! # In-flight policy
 //!
@@ -52,6 +53,18 @@
 //! `ftree stress` and the `BENCH_sim.json` / `BENCH_graph.json` perf
 //! records.
 //!
+//! # The sharded engine
+//!
+//! Delivery order is canonical (ascending [`ft_graph::NodeId`] per round),
+//! which lets [`Network::step_mt`] shard heavy rounds across a persistent
+//! [`pool::WorkerPool`] — per-worker outboxes, edge buffers, and delivery
+//! logs merged in shard order — with results **byte-identical** to the
+//! single-threaded engine: same [`MsgLedger`] books, same [`RoundStats`],
+//! same final graph for any thread count. Thread the knob through
+//! [`CampaignConfig::threads`]; light rounds (under
+//! [`network::PAR_MIN_PENDING`] queued messages) stay sequential
+//! automatically.
+//!
 //! [`bfs`] contains the one-time setup protocol: a distributed BFS spanning
 //! tree construction with latency equal to the root's eccentricity (the
 //! stand-in for Cohen's algorithm cited by the paper).
@@ -62,10 +75,14 @@ pub mod bfs;
 pub mod campaign;
 pub mod ledger;
 pub mod network;
+pub mod pool;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, HealCadence, WaveStats};
 pub use ledger::MsgLedger;
 pub use network::{Ctx, InFlightPolicy, Network, Process, RoundStats, SlotPolicy};
+pub use pool::WorkerPool;
 
 #[cfg(test)]
 mod accounting_tests;
+#[cfg(test)]
+mod parallel_tests;

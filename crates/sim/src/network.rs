@@ -29,8 +29,28 @@
 //! derives from one [`MsgLedger`] charged at delivery time, so the books
 //! reconcile by construction; see the [`crate::ledger`] module docs for the
 //! enforced identities.
+//!
+//! # The sharded round engine
+//!
+//! Delivery order within a round is **canonical**: addressees are processed
+//! in ascending [`NodeId`] order (the `hot` list is sorted at the top of
+//! every [`Network::step`]). That canonical order is what makes the engine
+//! parallelizable without losing determinism: [`Network::step_mt`] splits
+//! the sorted hot list into contiguous [`NodeId`] shards, hands each shard
+//! to a [`crate::pool::WorkerPool`] worker which drains its shard's inboxes
+//! into *per-worker* outboxes, edge buffers, and delivery logs, and then
+//! merges the shards **in shard order** on the calling thread. Because the
+//! shards partition the sorted order, the merged outbox, edge requests,
+//! ledger books, and [`RoundStats`] are byte-identical to what the
+//! single-threaded engine produces — `threads = 4` and `threads = 1` yield
+//! the same campaign report, the same ledger, and the same final graph.
+//! Rounds carrying fewer than [`PAR_MIN_PENDING`] messages are delivered
+//! sequentially even when `threads > 1` (dispatch would cost more than the
+//! work), which is safe precisely because both paths produce identical
+//! results.
 
 use crate::ledger::MsgLedger;
+use crate::pool::WorkerPool;
 use ft_graph::{Graph, NodeId};
 
 /// A node-local protocol endpoint.
@@ -100,6 +120,15 @@ pub enum InFlightPolicy {
     /// The mail stays in flight and is delivered next round: a crashed peer
     /// cannot recall packets already on the wire. This is the model the
     /// paper's heal choreography assumes, and the default.
+    ///
+    /// One exception, regardless of policy: if the dead node's slot is
+    /// later revived under [`SlotPolicy::Reuse`] while its mail is still
+    /// in flight, the revival unsends that mail (accounted as dropped) —
+    /// the per-node books are per incarnation, and a delivery after the
+    /// revival would charge the old node's traffic to the new one's sent
+    /// book. Campaigns that need a recycled identity's last words
+    /// delivered must heal to quiescence before inserting, which the
+    /// per-deletion cadence guarantees.
     #[default]
     Deliver,
     /// The adversary silences the victim entirely: queued mail *from* the
@@ -117,8 +146,12 @@ pub enum SlotPolicy {
     #[default]
     Grow,
     /// Reuse the lowest dead slot when one exists (fall back to growing):
-    /// long churn campaigns stay dense. The reused slot keeps its ledger
-    /// history — per-node books are per *slot*, not per incarnation.
+    /// long churn campaigns stay dense. Reviving a slot *retires* the dead
+    /// incarnation's ledger books (they move into the [`MsgLedger`]'s
+    /// retired accumulator) and unsends the dead incarnation's
+    /// still-undelivered mail, so per-node books are per **incarnation** —
+    /// a recycled identity neither inherits its predecessor's message
+    /// history nor speaks from the grave.
     Reuse,
 }
 
@@ -155,7 +188,9 @@ pub struct Network<P: Process> {
     /// Mail awaiting delivery, indexed by addressee; buffers are reused.
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
     /// Addressees with (possibly) non-empty inboxes. Invariant: every
-    /// non-empty inbox's owner is listed here exactly once.
+    /// non-empty inbox's owner is listed here at least once; a slot can be
+    /// listed twice when it died (stale entry) and was revived and
+    /// remailed before the next step, so steps dedup after sorting.
     hot: Vec<NodeId>,
     /// Spare buffer `hot` is swapped with each round (keeps capacity).
     hot_spare: Vec<NodeId>,
@@ -174,6 +209,55 @@ pub struct Network<P: Process> {
     policy: InFlightPolicy,
     slots: SlotPolicy,
     ledger: MsgLedger,
+    /// Worker count for [`Network::step_mt`] (1 = sequential).
+    threads: usize,
+    /// Minimum queued messages before a round is sharded (default
+    /// [`PAR_MIN_PENDING`]).
+    par_min_pending: usize,
+    /// Lazily spawned worker pool (`threads - 1` workers; the caller is
+    /// the extra hand).
+    pool: Option<WorkerPool>,
+    /// Per-worker scratch shards; buffers are reused between rounds.
+    shards: Vec<Shard<P::Msg>>,
+}
+
+/// Minimum queued messages for a round to be worth parallel dispatch.
+///
+/// Below this, [`Network::step_mt`] delivers sequentially even when
+/// `threads > 1` — handing a worker a handful of messages costs more than
+/// delivering them. Safe because both paths are byte-identical.
+pub const PAR_MIN_PENDING: usize = 192;
+
+/// Per-worker round scratch: everything a shard produces while draining its
+/// inboxes, merged into the engine in shard order after the barrier.
+#[derive(Debug)]
+struct Shard<M> {
+    /// Messages sent by this shard's processes, in delivery order.
+    outbox: Vec<(NodeId, NodeId, M)>,
+    /// Edge insertions requested by this shard.
+    edge_adds: Vec<(NodeId, NodeId)>,
+    /// Edge drops requested by this shard.
+    edge_drops: Vec<(NodeId, NodeId)>,
+    /// `(from, to)` of every message delivered by this shard, in order —
+    /// replayed into the [`MsgLedger`] and load counters at merge time.
+    deliveries: Vec<(NodeId, NodeId)>,
+    /// Messages taken off this shard's inboxes (pending decrement).
+    freed: usize,
+    /// Mail found addressed to a dead process (defensive; normally 0).
+    stale: u64,
+}
+
+impl<M> Default for Shard<M> {
+    fn default() -> Self {
+        Shard {
+            outbox: Vec::new(),
+            edge_adds: Vec::new(),
+            edge_drops: Vec::new(),
+            deliveries: Vec::new(),
+            freed: 0,
+            stale: 0,
+        }
+    }
 }
 
 #[inline]
@@ -183,6 +267,49 @@ fn bump_load(load: &mut [u32], touched: &mut Vec<NodeId>, v: NodeId) {
         touched.push(v);
     }
     *slot += 1;
+}
+
+/// Drains one shard's inboxes on a worker thread. `procs` and `inboxes` are
+/// the dense slices covering exactly this shard's [`NodeId`] range,
+/// `base` the range's first index. Runs the process callbacks; all side
+/// effects land in `shard` for the in-order merge.
+fn deliver_chunk<P: Process>(
+    chunk: &[NodeId],
+    base: usize,
+    procs: &mut [Option<P>],
+    inboxes: &mut [Vec<(NodeId, P::Msg)>],
+    shard: &mut Shard<P::Msg>,
+    round: u64,
+) {
+    for &to in chunk {
+        let idx = to.index() - base;
+        if inboxes[idx].is_empty() {
+            continue; // stale hot entry: addressee died, inbox purged
+        }
+        let mut mail = std::mem::take(&mut inboxes[idx]);
+        shard.freed += mail.len();
+        match procs[idx].as_mut() {
+            None => {
+                shard.stale += mail.len() as u64;
+                mail.clear();
+            }
+            Some(p) => {
+                for (from, msg) in mail.drain(..) {
+                    shard.deliveries.push((from, to));
+                    let mut ctx = Ctx {
+                        me: to,
+                        round,
+                        outbox: &mut shard.outbox,
+                        edge_adds: &mut shard.edge_adds,
+                        edge_drops: &mut shard.edge_drops,
+                    };
+                    p.on_message(from, msg, &mut ctx);
+                }
+            }
+        }
+        // Hand the (empty, capacity-retaining) buffer back.
+        inboxes[idx] = mail;
+    }
 }
 
 impl<P: Process> Network<P> {
@@ -225,6 +352,10 @@ impl<P: Process> Network<P> {
             policy,
             slots: SlotPolicy::default(),
             ledger: MsgLedger::new(cap),
+            threads: 1,
+            par_min_pending: PAR_MIN_PENDING,
+            pool: None,
+            shards: Vec::new(),
         }
     }
 
@@ -298,6 +429,25 @@ impl<P: Process> Network<P> {
         self.slots = slots;
     }
 
+    /// The worker count [`Network::step_mt`] shards rounds across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker count for [`Network::step_mt`] (clamped to ≥ 1).
+    /// The pool itself is spawned lazily on the first sharded round, so
+    /// `threads = 1` networks never start a thread.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Overrides the minimum queued-message count for a round to be
+    /// sharded (default [`PAR_MIN_PENDING`]). Lowering it never changes
+    /// results — only where the work runs.
+    pub fn set_par_min_pending(&mut self, min: usize) {
+        self.par_min_pending = min;
+    }
+
     /// The message ledger every statistic derives from.
     pub fn ledger(&self) -> &MsgLedger {
         &self.ledger
@@ -352,6 +502,30 @@ impl<P: Process> Network<P> {
         self.finish_round(0)
     }
 
+    /// Unsends `v`'s queued outbound mail: every still-undelivered message
+    /// `v` sent is removed from its addressee's inbox and accounted as
+    /// dropped. Every non-empty inbox is on the hot list, so this touches
+    /// only addressees with pending mail. Used by both
+    /// [`InFlightPolicy::Drop`] deletions and slot revival under
+    /// [`SlotPolicy::Reuse`].
+    fn unsend_in_flight_from(&mut self, v: NodeId) {
+        let Network {
+            inboxes,
+            hot,
+            pending,
+            ledger,
+            ..
+        } = self;
+        for &d in hot.iter() {
+            let inbox = &mut inboxes[d.index()];
+            let before = inbox.len();
+            inbox.retain(|(from, _)| *from != v);
+            let removed = before - inbox.len();
+            *pending -= removed;
+            ledger.record_dropped(removed as u64);
+        }
+    }
+
     /// Deletes `v` (the adversary's move): removes it from the topology,
     /// discards its pending mail (and, under [`InFlightPolicy::Drop`], the
     /// mail it already sent), and informs its surviving neighbors, whose
@@ -373,24 +547,8 @@ impl<P: Process> Network<P> {
         self.pending -= purged;
         self.ledger.record_dropped(purged as u64);
         if self.policy == InFlightPolicy::Drop {
-            // Silence the victim: unsend its queued outbound mail too. Every
-            // non-empty inbox is on the hot list, so this touches only
-            // addressees with pending mail.
-            let Network {
-                inboxes,
-                hot,
-                pending,
-                ledger,
-                ..
-            } = self;
-            for &d in hot.iter() {
-                let inbox = &mut inboxes[d.index()];
-                let before = inbox.len();
-                inbox.retain(|(from, _)| *from != v);
-                let removed = before - inbox.len();
-                *pending -= removed;
-                ledger.record_dropped(removed as u64);
-            }
+            // Silence the victim: unsend its queued outbound mail too.
+            self.unsend_in_flight_from(v);
         }
         let mut delivered = 0usize;
         {
@@ -457,6 +615,15 @@ impl<P: Process> Network<P> {
         let v = match (self.slots, self.graph.first_dead_slot()) {
             (SlotPolicy::Reuse, Some(slot)) => {
                 self.graph.revive_node(slot);
+                // The slot is a *new* node: retire the dead incarnation's
+                // per-node books so its message history cannot bleed into
+                // the newcomer's O(1)-per-node evidence…
+                self.ledger.reset_node(slot);
+                // …and unsend the dead incarnation's still-undelivered
+                // mail — a recycled identity must not speak from the grave
+                // (deliveries after the revival would otherwise charge the
+                // new incarnation's sent book for the old one's traffic).
+                self.unsend_in_flight_from(slot);
                 slot
             }
             _ => {
@@ -522,65 +689,75 @@ impl<P: Process> Network<P> {
         (v, stats)
     }
 
-    /// Delivers all queued messages (one synchronous round).
+    /// Delivers all queued messages (one synchronous round), processing
+    /// addressees in the canonical ascending-[`NodeId`] order.
     pub fn step(&mut self) -> RoundStats {
         let mut hot = std::mem::take(&mut self.hot_spare);
         debug_assert!(hot.is_empty());
         std::mem::swap(&mut self.hot, &mut hot);
-        let mut delivered = 0usize;
-        {
-            let Network {
-                procs,
-                inboxes,
-                outbox,
-                edge_adds,
-                edge_drops,
-                round,
-                round_load,
-                touched,
-                pending,
-                ledger,
-                ..
-            } = self;
-            for &to in &hot {
-                // A hot entry can be stale: the addressee died and its inbox
-                // was purged. Nothing to deliver then.
-                if inboxes[to.index()].is_empty() {
-                    continue;
-                }
-                let mut mail = std::mem::take(&mut inboxes[to.index()]);
-                *pending -= mail.len();
-                match procs[to.index()].as_mut() {
-                    None => {
-                        // Unreachable (deletion purges the inbox), but the
-                        // books must balance even if it ever fires.
-                        ledger.record_dropped(mail.len() as u64);
-                        mail.clear();
-                    }
-                    Some(p) => {
-                        for (from, msg) in mail.drain(..) {
-                            delivered += 1;
-                            ledger.record_delivery(from, to);
-                            bump_load(round_load, touched, from);
-                            bump_load(round_load, touched, to);
-                            let mut ctx = Ctx {
-                                me: to,
-                                round: *round,
-                                outbox: &mut *outbox,
-                                edge_adds: &mut *edge_adds,
-                                edge_drops: &mut *edge_drops,
-                            };
-                            p.on_message(from, msg, &mut ctx);
-                        }
-                    }
-                }
-                // Hand the (empty, capacity-retaining) buffer back.
-                inboxes[to.index()] = mail;
-            }
-        }
+        hot.sort_unstable();
+        // A slot deleted (stale hot entry) then revived and remailed in the
+        // same round is listed twice; collapse to the canonical unique list.
+        hot.dedup();
+        let delivered = self.deliver_seq(&hot);
         hot.clear();
         self.hot_spare = hot;
         self.finish_round(delivered)
+    }
+
+    /// Sequentially drains the inboxes of the (sorted) `hot` addressees,
+    /// charging ledger and load per delivery; returns the delivery count.
+    fn deliver_seq(&mut self, hot: &[NodeId]) -> usize {
+        let mut delivered = 0usize;
+        let Network {
+            procs,
+            inboxes,
+            outbox,
+            edge_adds,
+            edge_drops,
+            round,
+            round_load,
+            touched,
+            pending,
+            ledger,
+            ..
+        } = self;
+        for &to in hot {
+            // A hot entry can be stale: the addressee died and its inbox
+            // was purged. Nothing to deliver then.
+            if inboxes[to.index()].is_empty() {
+                continue;
+            }
+            let mut mail = std::mem::take(&mut inboxes[to.index()]);
+            *pending -= mail.len();
+            match procs[to.index()].as_mut() {
+                None => {
+                    // Unreachable (deletion purges the inbox), but the
+                    // books must balance even if it ever fires.
+                    ledger.record_dropped(mail.len() as u64);
+                    mail.clear();
+                }
+                Some(p) => {
+                    for (from, msg) in mail.drain(..) {
+                        delivered += 1;
+                        ledger.record_delivery(from, to);
+                        bump_load(round_load, touched, from);
+                        bump_load(round_load, touched, to);
+                        let mut ctx = Ctx {
+                            me: to,
+                            round: *round,
+                            outbox: &mut *outbox,
+                            edge_adds: &mut *edge_adds,
+                            edge_drops: &mut *edge_drops,
+                        };
+                        p.on_message(from, msg, &mut ctx);
+                    }
+                }
+            }
+            // Hand the (empty, capacity-retaining) buffer back.
+            inboxes[to.index()] = mail;
+        }
+        delivered
     }
 
     /// Steps until no messages are pending; returns the number of rounds
@@ -588,20 +765,32 @@ impl<P: Process> Network<P> {
     ///
     /// # Panics
     /// Panics if quiescence is not reached within `max_rounds` (a protocol
-    /// that chatters forever is a bug).
+    /// that chatters forever is a bug). Use
+    /// [`Network::run_until_quiet_capped`] to observe truncation instead of
+    /// panicking.
     pub fn run_until_quiet(&mut self, max_rounds: u32) -> (u32, RoundStats) {
+        let (rounds, merged, converged) = self.run_until_quiet_capped(max_rounds);
+        assert!(
+            converged,
+            "protocol did not quiesce within {max_rounds} rounds"
+        );
+        (rounds, merged)
+    }
+
+    /// Steps until quiescence or until `max_rounds` rounds have run,
+    /// whichever comes first. Returns the rounds consumed, the merged
+    /// statistics, and `converged`: `true` iff no mail is pending — a
+    /// `false` makes a truncated heal distinguishable from a finished one
+    /// (the round budget ran out with messages still in flight).
+    pub fn run_until_quiet_capped(&mut self, max_rounds: u32) -> (u32, RoundStats, bool) {
         let mut rounds = 0;
         let mut merged = RoundStats::default();
-        while self.has_pending() {
-            assert!(
-                rounds < max_rounds,
-                "protocol did not quiesce within {max_rounds} rounds"
-            );
+        while self.has_pending() && rounds < max_rounds {
             let s = self.step();
             rounds += 1;
             merged.merge(&s);
         }
-        (rounds, merged)
+        (rounds, merged, !self.has_pending())
     }
 
     /// Closes a round: routes the outbox into next round's inboxes, applies
@@ -674,6 +863,139 @@ impl<P: Process> Network<P> {
         }
         self.round += 1;
         stats
+    }
+}
+
+/// The sharded round engine. Only `Send` protocols can cross threads; the
+/// sequential API above stays available for `!Send` processes (e.g. test
+/// harnesses sharing state through `Rc`).
+impl<P> Network<P>
+where
+    P: Process + Send,
+    P::Msg: Send,
+{
+    /// Delivers all queued messages (one synchronous round), sharding the
+    /// work across [`Network::threads`] workers when the round is heavy
+    /// enough ([`PAR_MIN_PENDING`]). Byte-identical to [`Network::step`]:
+    /// same ledger, same stats, same outbox order, same graph.
+    pub fn step_mt(&mut self) -> RoundStats {
+        let mut hot = std::mem::take(&mut self.hot_spare);
+        debug_assert!(hot.is_empty());
+        std::mem::swap(&mut self.hot, &mut hot);
+        hot.sort_unstable();
+        hot.dedup(); // see `step`: revival can double-list a slot
+        let delivered = if self.threads > 1 && self.pending >= self.par_min_pending && hot.len() > 1
+        {
+            self.deliver_par(&hot)
+        } else {
+            self.deliver_seq(&hot)
+        };
+        hot.clear();
+        self.hot_spare = hot;
+        self.finish_round(delivered)
+    }
+
+    /// [`Network::run_until_quiet_capped`] over [`Network::step_mt`]:
+    /// sharded rounds, truncation surfaced as `converged = false`.
+    pub fn run_until_quiet_capped_mt(&mut self, max_rounds: u32) -> (u32, RoundStats, bool) {
+        let mut rounds = 0;
+        let mut merged = RoundStats::default();
+        while self.has_pending() && rounds < max_rounds {
+            let s = self.step_mt();
+            rounds += 1;
+            merged.merge(&s);
+        }
+        (rounds, merged, !self.has_pending())
+    }
+
+    /// Drains the sorted `hot` list with one contiguous shard per worker,
+    /// then merges outboxes, edge requests, ledger charges, and load
+    /// counters in shard order — reproducing exactly the state
+    /// [`Network::deliver_seq`] would have built.
+    fn deliver_par(&mut self, hot: &[NodeId]) -> usize {
+        let nshards = self.threads.min(hot.len());
+        if self.shards.len() < nshards {
+            self.shards.resize_with(nshards, Shard::default);
+        }
+        let spawn = self.threads - 1;
+        if self.pool.as_ref().is_none_or(|p| p.workers() < spawn) {
+            self.pool = Some(WorkerPool::new(spawn));
+        }
+        {
+            let Network {
+                procs,
+                inboxes,
+                shards,
+                pool,
+                round,
+                ..
+            } = self;
+            let round = *round;
+            let mut procs_rest: &mut [Option<P>] = procs;
+            let mut inboxes_rest: &mut [Vec<(NodeId, P::Msg)>] = inboxes;
+            let mut shards_rest: &mut [Shard<P::Msg>] = &mut shards[..nshards];
+            let mut base = 0usize;
+            let mut start = 0usize;
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nshards);
+            for s in 0..nshards {
+                // Contiguous chunk of the sorted hot list ⇒ the shard owns
+                // a contiguous NodeId range ⇒ disjoint &mut slices.
+                let end = if s + 1 == nshards {
+                    hot.len()
+                } else {
+                    (hot.len() * (s + 1)) / nshards
+                };
+                let chunk = &hot[start..end];
+                start = end;
+                let hi = chunk.last().expect("chunks are non-empty").index() + 1;
+                let (p_mine, p_rest) = procs_rest.split_at_mut(hi - base);
+                let (i_mine, i_rest) = inboxes_rest.split_at_mut(hi - base);
+                let (shard, s_rest) = shards_rest.split_first_mut().expect("shard per chunk");
+                procs_rest = p_rest;
+                inboxes_rest = i_rest;
+                shards_rest = s_rest;
+                let my_base = base;
+                base = hi;
+                jobs.push(Box::new(move || {
+                    deliver_chunk(chunk, my_base, p_mine, i_mine, shard, round);
+                }));
+            }
+            pool.as_ref().expect("pool spawned above").run(jobs);
+        }
+        // Merge in shard order: shard boundaries partition the canonical
+        // ascending order, so this replay is the sequential engine's exact
+        // charge/append sequence.
+        let mut delivered = 0usize;
+        let Network {
+            shards,
+            outbox,
+            edge_adds,
+            edge_drops,
+            round_load,
+            touched,
+            pending,
+            ledger,
+            ..
+        } = self;
+        for shard in shards[..nshards].iter_mut() {
+            *pending -= shard.freed;
+            shard.freed = 0;
+            if shard.stale > 0 {
+                ledger.record_dropped(shard.stale);
+                shard.stale = 0;
+            }
+            delivered += shard.deliveries.len();
+            for &(from, to) in &shard.deliveries {
+                ledger.record_delivery(from, to);
+                bump_load(round_load, touched, from);
+                bump_load(round_load, touched, to);
+            }
+            shard.deliveries.clear();
+            outbox.append(&mut shard.outbox);
+            edge_adds.append(&mut shard.edge_adds);
+            edge_drops.append(&mut shard.edge_drops);
+        }
+        delivered
     }
 }
 
@@ -958,6 +1280,35 @@ mod tests {
         let mut net = Network::new(g, |_| Greeter::default());
         net.delete_node(NodeId(0));
         net.insert_node(&[NodeId(0)], |_| Greeter::default());
+    }
+
+    #[test]
+    fn sharded_flood_is_byte_identical_to_sequential() {
+        // a grid flood generates hundreds of same-round deliveries, enough
+        // to cross PAR_MIN_PENDING with the default threshold
+        let make = || {
+            let g = gen::grid(20, 20);
+            flood_net(g, NodeId(0))
+        };
+        let mut seq = make();
+        seq.start();
+        let mut rounds_seq = Vec::new();
+        while seq.has_pending() {
+            rounds_seq.push(seq.step());
+        }
+        let mut par = make();
+        par.set_threads(4);
+        par.start();
+        let mut rounds_par = Vec::new();
+        while par.has_pending() {
+            rounds_par.push(par.step_mt());
+        }
+        assert_eq!(rounds_seq, rounds_par, "per-round stats diverged");
+        assert_eq!(seq.ledger(), par.ledger(), "ledger books diverged");
+        for v in seq.nodes() {
+            assert_eq!(seq.process(v).seen, par.process(v).seen);
+        }
+        par.check_accounting().expect("books balance");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Property tests for the sharded round engine and the per-incarnation
+//! ledger books.
+//!
+//! The headline invariant: for identical seeds, a campaign driven at
+//! `threads = 4` produces **exactly** the same [`CampaignReport`], the same
+//! [`MsgLedger`] books, and the same final graph as `threads = 1` — the
+//! sharded merge is a reordering-free refactor of the sequential engine.
+//! Alongside it: churn campaigns under [`SlotPolicy::Reuse`] keep balanced
+//! books with per-incarnation per-node counts, and a heal that exhausts its
+//! round budget is reported as non-converged instead of masquerading as
+//! quiescence.
+
+use crate::campaign::{Campaign, CampaignConfig, HealCadence};
+use crate::network::{Ctx, Network, Process, SlotPolicy};
+use ft_graph::{gen, ChurnEvent, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chatty protocol: deletions and joins trigger fan-out pings, pings are
+/// echoed once, so waves generate enough traffic to cross the parallel
+/// threshold on larger graphs while staying quiescent.
+#[derive(Debug)]
+struct Chatter {
+    neighbors: Vec<NodeId>,
+    echoes: usize,
+}
+
+impl Process for Chatter {
+    type Msg = u8;
+
+    fn on_message(&mut self, from: NodeId, hop: u8, ctx: &mut Ctx<'_, u8>) {
+        if hop > 0 {
+            ctx.send(from, hop - 1);
+        } else {
+            self.echoes += 1;
+        }
+    }
+
+    fn on_neighbor_deleted(&mut self, dead: NodeId, ctx: &mut Ctx<'_, u8>) {
+        self.neighbors.retain(|&u| u != dead);
+        for &u in &self.neighbors {
+            ctx.send(u, 1);
+        }
+    }
+
+    fn on_neighbor_joined(&mut self, new: NodeId, ctx: &mut Ctx<'_, u8>) {
+        self.neighbors.push(new);
+        ctx.send(new, 1);
+    }
+}
+
+fn chatter_net(g: ft_graph::Graph) -> Network<Chatter> {
+    let nbrs: Vec<Vec<NodeId>> = (0..g.capacity())
+        .map(|i| g.neighbors(NodeId(i as u32)).collect())
+        .collect();
+    Network::new(g, |v| Chatter {
+        neighbors: nbrs[v.index()].clone(),
+        echoes: 0,
+    })
+}
+
+/// Plans a deterministic churn trace against the *current* state of `net`
+/// using only the seed, so two lockstep networks plan identical traces.
+fn plan_events(net: &Network<Chatter>, rng: &mut StdRng, count: usize) -> Vec<ChurnEvent> {
+    let mut events = Vec::new();
+    // victims are removed from this working copy so a wave never plans the
+    // same deletion twice (insert anchors may still die mid-wave — the
+    // campaign driver's liveness filter covers that case)
+    let mut live: Vec<NodeId> = net.nodes().collect();
+    for _ in 0..count {
+        if live.len() <= 3 {
+            break;
+        }
+        if rng.gen_bool(0.4) {
+            let a = live[rng.gen_range(0..live.len())];
+            let mut nbrs = vec![a];
+            let b = live[rng.gen_range(0..live.len())];
+            if b != a {
+                nbrs.push(b);
+            }
+            events.push(ChurnEvent::Insert { neighbors: nbrs });
+        } else {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            events.push(ChurnEvent::Delete(victim));
+        }
+    }
+    events
+}
+
+/// Runs the same seeded churn campaign at a given thread count and returns
+/// everything determinism must cover.
+fn run_campaign(
+    seed: u64,
+    n: usize,
+    waves: usize,
+    wave_size: usize,
+    threads: usize,
+    slots: SlotPolicy,
+) -> (Campaign, Network<Chatter>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_tree(n, &mut rng);
+    let mut net = chatter_net(g);
+    net.set_slot_policy(slots);
+    // force every non-empty round through the sharded path (threads > 1):
+    // the test must exercise the merge, not just the sequential fallback
+    net.set_par_min_pending(1);
+    let mut campaign = Campaign::new(CampaignConfig {
+        cadence: HealCadence::PerWave,
+        max_rounds_per_heal: 64,
+        threads,
+    });
+    // one shared planner RNG stream: both thread counts replay it exactly
+    let mut plan_rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    for _ in 0..waves {
+        let events = plan_events(&net, &mut plan_rng, wave_size);
+        if events.is_empty() {
+            break;
+        }
+        let ws = campaign.run_churn_wave(&mut net, &events, |id, nbrs| Chatter {
+            neighbors: {
+                let _ = id;
+                nbrs.to_vec()
+            },
+            echoes: 0,
+        });
+        assert!(ws.converged, "chatter always quiesces");
+    }
+    net.check_accounting().expect("books balance");
+    (campaign, net)
+}
+
+/// Edge list + liveness fingerprint of a graph (Graph has no PartialEq).
+fn graph_fingerprint(g: &ft_graph::Graph) -> (Vec<NodeId>, Vec<(NodeId, NodeId)>) {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let mut edges = Vec::new();
+    for v in g.nodes() {
+        for u in g.neighbors(v) {
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    (nodes, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// threads = 4 is byte-identical to threads = 1: same report, same
+    /// ledger books, same graph — under both slot policies.
+    #[test]
+    fn sharded_campaigns_match_sequential(
+        seed in 0u64..500,
+        n in 30usize..120,
+        reuse in proptest::bool::ANY,
+    ) {
+        let slots = if reuse { SlotPolicy::Reuse } else { SlotPolicy::Grow };
+        let (c1, n1) = run_campaign(seed, n, 4, 10, 1, slots);
+        let (c4, n4) = run_campaign(seed, n, 4, 10, 4, slots);
+        prop_assert_eq!(c1.report(), c4.report(), "campaign reports diverged");
+        prop_assert_eq!(n1.ledger(), n4.ledger(), "ledger books diverged");
+        prop_assert_eq!(n1.round(), n4.round(), "round clocks diverged");
+        prop_assert_eq!(
+            graph_fingerprint(n1.graph()),
+            graph_fingerprint(n4.graph()),
+            "healed graphs diverged"
+        );
+    }
+
+    /// Churn under SlotPolicy::Reuse keeps balanced books, and the books
+    /// stay per-incarnation: whenever a slot was actually reused the
+    /// retired accumulator owns the dead incarnations' charges.
+    #[test]
+    fn reuse_churn_books_balance_per_incarnation(
+        seed in 0u64..500,
+        n in 20usize..80,
+    ) {
+        let (campaign, net) = run_campaign(seed, n, 5, 8, 1, SlotPolicy::Reuse);
+        prop_assert!(campaign.report().converged);
+        // check_accounting passed inside run_campaign; recheck the
+        // reconciliation identity in its per-incarnation form explicitly.
+        let l = net.ledger();
+        prop_assert_eq!(
+            l.sum_per_node() + l.retired(),
+            2 * l.delivered() + l.notices() + l.joins(),
+            "per-incarnation reconciliation"
+        );
+        if campaign.report().insertions > 0 && campaign.report().deletions > 0 {
+            // with interleaved churn, insertions land in recycled slots
+            prop_assert!(
+                l.retired_incarnations() > 0,
+                "churn with deletions before insertions reuses slots"
+            );
+        }
+    }
+}
+
+/// A protocol that ping-pongs forever: `run_until_quiet_capped` must report
+/// the truncation, and the campaign must carry it into wave and report.
+#[derive(Debug)]
+struct Immortal(NodeId);
+
+impl Process for Immortal {
+    type Msg = ();
+
+    fn on_message(&mut self, from: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
+        ctx.send(from, ());
+    }
+
+    fn on_neighbor_deleted(&mut self, _: NodeId, ctx: &mut Ctx<'_, ()>) {
+        ctx.send(self.0, ());
+    }
+}
+
+#[test]
+fn truncated_heal_is_reported_not_converged() {
+    // path 0-1-2; deleting 1 makes 0 and 2 ping themselves forever
+    let g = gen::path(3);
+    let mut net = Network::new(g, Immortal);
+    let mut campaign = Campaign::new(CampaignConfig {
+        cadence: HealCadence::PerDeletion,
+        max_rounds_per_heal: 8,
+        threads: 1,
+    });
+    let ws = campaign.run_wave(&mut net, &[NodeId(1)]);
+    assert!(!ws.converged, "budget exhausted with mail still in flight");
+    assert_eq!(ws.rounds, 9, "1 deletion step + the full 8-round budget");
+    assert!(net.has_pending(), "truly truncated, not quiescent");
+    assert!(!campaign.report().converged, "report carries the verdict");
+    net.check_accounting()
+        .expect("books balance even when truncated");
+}
+
+#[test]
+fn capped_runner_reports_convergence_when_quiet() {
+    let g = gen::path(4);
+    let mut net = chatter_net(g);
+    net.delete_node(NodeId(1));
+    let (rounds, _, converged) = net.run_until_quiet_capped(64);
+    assert!(converged);
+    assert!(rounds > 0);
+    let (rounds, stats, converged) = net.run_until_quiet_capped(64);
+    assert!(converged, "vacuously converged when nothing is pending");
+    assert_eq!((rounds, stats.messages), (0, 0));
+}
+
+/// The reused slot's fresh incarnation starts with clean books even when
+/// the dead incarnation had in-flight mail (which is unsent, not charged
+/// to the newcomer).
+#[test]
+fn reuse_does_not_bleed_in_flight_mail_into_the_new_incarnation() {
+    // a star: the hub is a victim with queued outbound mail
+    let g = gen::star(4);
+    let mut net = chatter_net(g);
+    net.set_slot_policy(SlotPolicy::Reuse);
+    // leaf 1 dies: hub 0 pings its surviving neighbors (2, 3) — mail from
+    // 0 is now in flight
+    net.delete_node(NodeId(1));
+    assert!(net.has_pending(), "hub's pings are queued");
+    // hub 0 dies too: 2 and 3 are notified (no surviving neighbors to
+    // ping); 0's queued pings to 2 and 3 are still in flight (Deliver
+    // policy) …
+    net.delete_node(NodeId(0));
+    assert!(net.has_pending(), "dead hub's mail still queued");
+    // … until slot 0 is reused: the revival unsends the dead hub's mail
+    let before_dropped = net.ledger().dropped();
+    let (v, _) = net.insert_node(&[NodeId(2)], |_| Chatter {
+        neighbors: vec![NodeId(2)],
+        echoes: 0,
+    });
+    assert_eq!(v, NodeId(0), "lowest dead slot reused");
+    assert!(
+        net.ledger().dropped() > before_dropped,
+        "the dead incarnation's in-flight mail was unsent"
+    );
+    net.run_until_quiet(16);
+    // the new incarnation is charged only for its own join traffic
+    let l = net.ledger();
+    assert_eq!(
+        l.per_node_sent(NodeId(0)),
+        1,
+        "one echoed greeting from the newcomer, no inherited sends"
+    );
+    assert!(l.retired() > 0, "old incarnations' books retired");
+    net.check_accounting().expect("books balance");
+}

@@ -1,0 +1,225 @@
+//! A small scoped worker pool for the sharded round engine.
+//!
+//! The workspace is offline (no rayon, no crossbeam), and
+//! `std::thread::scope` spawns fresh OS threads on every call — far too
+//! expensive for a round loop that may fire tens of thousands of times per
+//! campaign. [`WorkerPool`] keeps a fixed set of parked worker threads alive
+//! for the lifetime of a [`crate::Network`] and hands them borrowed jobs per
+//! round: [`WorkerPool::run`] dispatches one closure per worker, runs the
+//! first closure on the calling thread (no core sits idle), and **blocks
+//! until every job has finished** before returning — which is exactly the
+//! property that makes lending non-`'static` borrows to the workers sound.
+//!
+//! Panics inside a job are caught on the worker, carried back over the
+//! completion channel, and re-raised on the calling thread once all jobs
+//! have settled, so a protocol assertion failing on a worker behaves like
+//! the same assertion failing in the single-threaded engine.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased job. Only ever constructed inside
+/// [`WorkerPool::run`], which guarantees the erased borrows outlive the job.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One job's outcome: `Ok` or the payload of the panic that killed it.
+type Outcome = std::thread::Result<()>;
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: JoinHandle<()>,
+}
+
+/// A fixed-size pool of parked worker threads executing borrowed jobs.
+///
+/// Dropping the pool hangs up the job channels and joins every worker.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    done_tx: Sender<Outcome>,
+    done_rx: Receiver<Outcome>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` parked worker threads (0 is fine: every [`run`]
+    /// then executes entirely on the calling thread).
+    ///
+    /// [`run`]: WorkerPool::run
+    pub fn new(workers: usize) -> Self {
+        let (done_tx, done_rx) = channel();
+        let workers = (0..workers)
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ft-sim-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn ft-sim worker");
+                Worker { tx, handle }
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            done_tx,
+            done_rx,
+        }
+    }
+
+    /// Number of pooled worker threads (the calling thread is extra).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job to completion: `jobs[0]` on the calling thread,
+    /// `jobs[1..]` one per pooled worker. Returns only after **all** jobs
+    /// have finished; if any job panicked, the first panic observed is
+    /// re-raised here after the barrier.
+    ///
+    /// # Panics
+    /// Panics if `jobs.len() > self.workers() + 1` (each worker takes
+    /// exactly one job per round), or to propagate a job's panic.
+    pub fn run<'scope>(&self, mut jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        assert!(
+            jobs.len() <= self.workers.len() + 1,
+            "{} jobs submitted to a pool of {} workers + the caller",
+            jobs.len(),
+            self.workers.len()
+        );
+        if jobs.is_empty() {
+            return;
+        }
+        let mine = jobs.remove(0);
+        let dispatched = jobs.len();
+        for (worker, job) in self.workers.iter().zip(jobs) {
+            let done = self.done_tx.clone();
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // The pool (and its receiver) outlives the job: ignore a
+                // send error rather than panic-in-panic on teardown.
+                let _ = done.send(outcome);
+            });
+            // SAFETY: the job borrows state only for 'scope, but this very
+            // function blocks on the completion barrier below until every
+            // dispatched job has signalled (even if one of them — or our own
+            // share — panics, which `catch_unwind` turns into a signal), so
+            // no borrow is ever used after 'scope ends. Lifetime erasure is
+            // the only transmutation: layout of `Box<dyn FnOnce + Send>` is
+            // identical for both lifetimes.
+            let wrapped: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped) };
+            worker.tx.send(wrapped).expect("worker thread alive");
+        }
+        let my_outcome = catch_unwind(AssertUnwindSafe(mine));
+        let mut first_panic = None;
+        for _ in 0..dispatched {
+            match self.done_rx.recv().expect("completion signal") {
+                Ok(()) => {}
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        // All borrows are dead now; surface the caller's own panic first
+        // (it is the one a sequential run would have raised).
+        if let Err(payload) = my_outcome {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for worker in self.workers.drain(..) {
+            drop(worker.tx); // hang up: the worker's recv() loop exits
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_see_borrowed_state_and_all_run() {
+        let pool = WorkerPool::new(3);
+        let mut slots = vec![0usize; 4];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| {
+                    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || *s = i + 1);
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_on_caller() {
+        let pool = WorkerPool::new(0);
+        let hits = AtomicUsize::new(0);
+        pool.run(vec![Box::new(|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        })]);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                .map(|_| {
+                    let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_the_barrier() {
+        let pool = WorkerPool::new(1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![Box::new(|| {}), Box::new(|| panic!("boom"))]);
+        }));
+        assert!(result.is_err(), "worker panic reached the caller");
+        // the pool survives a panicked round and keeps working
+        let ok = AtomicUsize::new(0);
+        pool.run(vec![
+            Box::new(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            }),
+        ]);
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+}

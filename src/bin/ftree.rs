@@ -6,10 +6,11 @@
 //! ftree scaling --healer line --adversary diameter-greedy
 //! ftree duel    --workload star:128
 //! ftree stress  --nodes 100000 --deletions 1000 --wave 50 \
-//!               --planner heavy-tail --seed 42 --out BENCH_sim.json
+//!               --planner heavy-tail --seed 42 --threads 4 \
+//!               --out BENCH_sim.json
 //! ftree stress  --model graph --nodes 10000 --events 2000 --wave 50 \
 //!               --planner mixed --insert-frac 0.4 --seed 42 \
-//!               --out BENCH_graph.json
+//!               --threads 4 --out BENCH_graph.json
 //! ftree help
 //! ```
 //!
@@ -28,8 +29,8 @@ fn usage() -> ! {
         "usage:\n  ftree attack  --workload W --adversary A --healer H [--fraction F] [--dot] [--csv]\n  \
          ftree scaling --healer H --adversary A\n  \
          ftree duel    --workload W\n  \
-         ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--seed S] [--out FILE]\n  \
-         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--out FILE]\n\n\
+         ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--cadence per-deletion|per-wave] [--seed S] [--threads T] [--out FILE]\n  \
+         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--threads T] [--out FILE]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
          healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
@@ -239,6 +240,11 @@ fn cmd_stress_tree(args: &[String]) {
         eprintln!("unknown wave planner: {planner}");
         usage();
     }
+    let cadence = flag_value(args, "--cadence").unwrap_or("per-deletion");
+    if !matches!(cadence, "per-deletion" | "per-wave") {
+        eprintln!("unknown cadence: {cadence} (per-deletion | per-wave)");
+        usage();
+    }
     let cfg = StressConfig {
         nodes: num("--nodes", defaults.nodes),
         deletions: num("--deletions", defaults.deletions),
@@ -246,6 +252,8 @@ fn cmd_stress_tree(args: &[String]) {
         arity: num("--arity", defaults.arity),
         planner: planner.into(),
         seed: num("--seed", defaults.seed as usize) as u64,
+        threads: num("--threads", defaults.threads).max(1),
+        cadence: cadence.into(),
     };
     // run_stress panics (non-zero exit) on ledger imbalance or a heal that
     // fails to quiesce — exactly the signals CI must treat as failures.
@@ -296,6 +304,7 @@ fn cmd_stress_graph(args: &[String]) {
         planner: planner.into(),
         seed: num("--seed", defaults.seed as usize) as u64,
         stretch_sources: num("--sources", defaults.stretch_sources),
+        threads: num("--threads", defaults.threads).max(1),
     };
     // run_graph_stress panics (non-zero exit) on ledger imbalance, stale
     // wills, lost connectivity, or an O(log n) bound violation — exactly
