@@ -48,8 +48,6 @@
 //! spec engine and the [`Haft`] reconstruction shape) and [`fgraph_dist`]
 //! (the message-level [`DistributedForgivingGraph`]).
 
-#![warn(missing_docs)]
-
 pub mod distributed;
 pub mod fgraph;
 pub mod fgraph_dist;

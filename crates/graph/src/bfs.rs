@@ -5,29 +5,121 @@
 //! Exact diameter is `O(n·m)` (one BFS per node) which is fine at experiment
 //! scale (n ≤ a few thousand); for larger sweeps the double-sweep lower
 //! bound [`diameter_double_sweep`] is provided.
+//!
+//! Distances are returned as a dense [`DistanceMap`] (one `u32` slot per
+//! id-space slot) rather than a hash map: iteration is in ascending
+//! [`NodeId`] order — deterministic across processes, which the seeded-replay
+//! contract requires — and the stretch hot path's lookups become a bounds
+//! check plus an array load.
 
 use crate::{Graph, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sentinel distance for a slot BFS never reached (dead node, different
+/// component, or an id-space hole).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Dense per-node distance table over a graph's id space.
+///
+/// Slot `i` holds the hop distance of `NodeId(i)` from the BFS source, or
+/// [`UNREACHED`]. All iteration ([`DistanceMap::iter`],
+/// [`DistanceMap::nodes`]) is in ascending `NodeId` order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMap {
+    dist: Vec<u32>,
+    reached: usize,
+}
+
+impl DistanceMap {
+    /// An all-[`UNREACHED`] table covering `cap` id-space slots.
+    fn with_capacity(cap: usize) -> Self {
+        DistanceMap {
+            dist: vec![UNREACHED; cap],
+            reached: 0,
+        }
+    }
+
+    /// Records the first (and only) distance assignment for `v`.
+    fn set(&mut self, v: NodeId, d: u32) {
+        debug_assert_eq!(self.dist[v.index()], UNREACHED, "BFS visits once");
+        self.dist[v.index()] = d;
+        self.reached += 1;
+    }
+
+    /// Distance of `v` from the source, or `None` when `v` was not reached
+    /// (including ids outside the table's range).
+    pub fn get(&self, v: NodeId) -> Option<u32> {
+        match self.dist.get(v.index()) {
+            Some(&d) if d != UNREACHED => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True when BFS reached `v`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Number of reached nodes (the source counts itself).
+    pub fn len(&self) -> usize {
+        self.reached
+    }
+
+    /// True when nothing was reached (dead source).
+    pub fn is_empty(&self) -> bool {
+        self.reached == 0
+    }
+
+    /// Largest distance over all reached nodes; `None` when empty.
+    pub fn max(&self) -> Option<u32> {
+        self.dist.iter().filter(|&&d| d != UNREACHED).max().copied()
+    }
+
+    /// `(node, distance)` pairs in ascending [`NodeId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHED)
+            .map(|(i, &d)| (NodeId(i as u32), d))
+    }
+
+    /// Reached nodes in ascending [`NodeId`] order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().map(|(v, _)| v)
+    }
+}
+
+impl std::ops::Index<NodeId> for DistanceMap {
+    type Output = u32;
+
+    /// Distance of `v`; panics when `v` was not reached.
+    fn index(&self, v: NodeId) -> &u32 {
+        let d = &self.dist[v.index()];
+        assert!(*d != UNREACHED, "{v:?} not reached by this BFS");
+        d
+    }
+}
 
 /// Distances (in hops) from `src` to every node reachable from it.
 ///
-/// The map contains `src` itself with distance 0. Nodes not reachable from
-/// `src` (or dead nodes) are absent.
-pub fn bfs_distances(g: &Graph, src: NodeId) -> HashMap<NodeId, u32> {
-    let mut dist = HashMap::new();
+/// The table contains `src` itself with distance 0. Nodes not reachable
+/// from `src` (or dead nodes) report as unreached.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> DistanceMap {
+    let mut dist = DistanceMap::with_capacity(g.capacity());
     if !g.is_alive(src) {
         return dist;
     }
     let mut queue = VecDeque::new();
-    dist.insert(src, 0);
+    dist.set(src, 0);
     queue.push_back(src);
     while let Some(v) = queue.pop_front() {
-        let d = dist[&v];
+        let d = dist[v];
         for u in g.neighbors(v) {
-            dist.entry(u).or_insert_with(|| {
+            if !dist.contains(u) {
+                dist.set(u, d + 1);
                 queue.push_back(u);
-                d + 1
-            });
+            }
         }
     }
     dist
@@ -35,43 +127,41 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> HashMap<NodeId, u32> {
 
 /// BFS that also records parents, yielding a BFS tree rooted at `src`.
 ///
-/// Returns `(dist, parent)`; the root has no parent entry.
-pub fn bfs_tree(g: &Graph, src: NodeId) -> (HashMap<NodeId, u32>, HashMap<NodeId, NodeId>) {
-    let mut dist = HashMap::new();
-    let mut parent = HashMap::new();
+/// Returns `(dist, parents)` where `parents` lists `(child, parent)` pairs
+/// in discovery order (deterministic: the queue and each node's neighbor
+/// list are). The root appears in no pair.
+pub fn bfs_tree(g: &Graph, src: NodeId) -> (DistanceMap, Vec<(NodeId, NodeId)>) {
+    let mut dist = DistanceMap::with_capacity(g.capacity());
+    let mut parents = Vec::new();
     if !g.is_alive(src) {
-        return (dist, parent);
+        return (dist, parents);
     }
     let mut queue = VecDeque::new();
-    dist.insert(src, 0);
+    dist.set(src, 0);
     queue.push_back(src);
     while let Some(v) = queue.pop_front() {
-        let d = dist[&v];
+        let d = dist[v];
         for u in g.neighbors(v) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
-                e.insert(d + 1);
-                parent.insert(u, v);
+            if !dist.contains(u) {
+                dist.set(u, d + 1);
+                parents.push((u, v));
                 queue.push_back(u);
             }
         }
     }
-    (dist, parent)
+    (dist, parents)
 }
 
 /// Shortest-path distance between `a` and `b`, or `None` if disconnected.
 pub fn distance(g: &Graph, a: NodeId, b: NodeId) -> Option<u32> {
-    bfs_distances(g, a).get(&b).copied()
+    bfs_distances(g, a).get(b)
 }
 
 /// Eccentricity of `v`: max distance from `v` to any reachable node.
 /// `None` if `v` is dead or the graph is disconnected from `v`'s view
 /// (strictly: returns the max over the reachable component).
 pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
-    let dist = bfs_distances(g, v);
-    if dist.is_empty() {
-        return None;
-    }
-    dist.values().max().copied()
+    bfs_distances(g, v).max()
 }
 
 /// Exact diameter of the live graph (max pairwise shortest-path distance).
@@ -89,7 +179,7 @@ pub fn diameter_exact(g: &Graph) -> Option<u32> {
         if dist.len() != n {
             return None; // disconnected
         }
-        best = best.max(*dist.values().max().expect("nonempty"));
+        best = best.max(dist.max().expect("nonempty"));
     }
     Some(best)
 }
@@ -103,19 +193,25 @@ pub fn diameter_double_sweep(g: &Graph) -> Option<u32> {
     if d1.len() != g.len() {
         return None;
     }
-    let (&u, _) = d1
-        .iter()
-        .max_by_key(|&(id, d)| (*d, std::cmp::Reverse(*id)))?;
-    let d2 = bfs_distances(g, u);
-    d2.values().max().copied()
+    // Farthest node, lowest id on ties: ascending iteration + strict `>`
+    // keeps the first (smallest-id) maximum.
+    let mut u = start;
+    let mut du = 0;
+    for (v, d) in d1.iter() {
+        if d > du {
+            u = v;
+            du = d;
+        }
+    }
+    bfs_distances(g, u).max()
 }
 
-/// All-pairs shortest path distances as a map; `O(n·m)` time, `O(n²)` space.
-/// Intended for stretch experiments at modest n.
-pub fn all_pairs_distances(g: &Graph) -> HashMap<(NodeId, NodeId), u32> {
-    let mut out = HashMap::new();
+/// All-pairs shortest path distances as an ordered map; `O(n·m)` time,
+/// `O(n²)` space. Intended for stretch experiments at modest n.
+pub fn all_pairs_distances(g: &Graph) -> BTreeMap<(NodeId, NodeId), u32> {
+    let mut out = BTreeMap::new();
     for v in g.nodes() {
-        for (u, d) in bfs_distances(g, v) {
+        for (u, d) in bfs_distances(g, v).iter() {
             out.insert((v, u), d);
         }
     }
@@ -131,21 +227,46 @@ mod tests {
     fn distances_on_a_path() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let d = bfs_distances(&g, NodeId(0));
-        assert_eq!(d[&NodeId(0)], 0);
-        assert_eq!(d[&NodeId(3)], 3);
+        assert_eq!(d[NodeId(0)], 0);
+        assert_eq!(d[NodeId(3)], 3);
         assert_eq!(distance(&g, NodeId(3), NodeId(0)), Some(3));
     }
 
     #[test]
     fn bfs_tree_parents_point_toward_root() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
-        let (dist, parent) = bfs_tree(&g, NodeId(0));
-        assert_eq!(dist[&NodeId(2)], 2);
-        assert!(!parent.contains_key(&NodeId(0)));
+        let (dist, parents) = bfs_tree(&g, NodeId(0));
+        assert_eq!(dist[NodeId(2)], 2);
+        assert!(parents.iter().all(|&(c, _)| c != NodeId(0)));
         // every non-root parent is exactly one hop closer to the root
-        for (v, p) in &parent {
+        for &(v, p) in &parents {
             assert_eq!(dist[v], dist[p] + 1);
         }
+    }
+
+    #[test]
+    fn distance_map_iterates_in_ascending_id_order() {
+        let g = Graph::from_edges(5, &[(4, 2), (2, 0), (0, 3), (3, 1)]);
+        let d = bfs_distances(&g, NodeId(4));
+        let order: Vec<NodeId> = d.nodes().collect();
+        assert_eq!(
+            order,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.get(NodeId(1)), Some(4));
+        assert_eq!(d.get(NodeId(9)), None, "out-of-range id is unreached");
+    }
+
+    #[test]
+    fn unreached_nodes_are_absent() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(NodeId(2)));
+        assert_eq!(d.get(NodeId(3)), None);
+        g.delete_node(NodeId(0));
+        assert!(bfs_distances(&g, NodeId(0)).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! graph during the setup phase.
 
 use crate::{bfs, Graph, NodeId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A rooted tree over a set of node IDs.
 ///
@@ -59,8 +59,7 @@ impl RootedTree {
         assert!(g.is_alive(root), "root {root:?} is not alive");
         assert!(g.is_connected(), "graph is not connected");
         assert_eq!(g.num_edges() + 1, g.len(), "graph is not a tree");
-        let (_, parent) = bfs::bfs_tree(g, root);
-        let pairs: Vec<(NodeId, NodeId)> = parent.into_iter().collect();
+        let (_, pairs) = bfs::bfs_tree(g, root);
         Self::from_parent_pairs(root, &pairs)
     }
 
@@ -72,9 +71,8 @@ impl RootedTree {
     /// Panics if the graph is disconnected or `root` is dead.
     pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> Self {
         assert!(g.is_alive(root), "root {root:?} is not alive");
-        let (dist, parent) = bfs::bfs_tree(g, root);
+        let (dist, pairs) = bfs::bfs_tree(g, root);
         assert_eq!(dist.len(), g.len(), "graph is not connected");
-        let pairs: Vec<(NodeId, NodeId)> = parent.into_iter().collect();
         Self::from_parent_pairs(root, &pairs)
     }
 
@@ -138,9 +136,9 @@ impl RootedTree {
         self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
-    /// Depth of each node (root = 0).
-    pub fn depths(&self) -> HashMap<NodeId, u32> {
-        let mut depths = HashMap::with_capacity(self.len());
+    /// Depth of each node (root = 0), in ascending `NodeId` order.
+    pub fn depths(&self) -> BTreeMap<NodeId, u32> {
+        let mut depths = BTreeMap::new();
         let mut stack = vec![(self.root, 0u32)];
         while let Some((v, d)) = stack.pop() {
             depths.insert(v, d);

@@ -1,0 +1,409 @@
+//! A small hand-rolled Rust lexer — just enough structure for the rule
+//! engine.
+//!
+//! The linter never needs a parse tree: every rule matches short token
+//! patterns (`HashMap` as an identifier, `.` `unwrap` `(`, `as` `u32`, …)
+//! plus comment text (suppressions, `SAFETY:` justifications). The lexer
+//! therefore produces a flat token stream with line numbers and a separate
+//! comment list, and is careful about exactly the things that would make a
+//! regex pass lie:
+//!
+//! - string literals (plain, raw `r#"…"#`, byte, C) never leak tokens, so
+//!   `"HashMap"` in a log message is not a violation;
+//! - comments never leak tokens, so prose like "Instantiate" (which merely
+//!   *contains* `Instant`) cannot trip the wall-clock rule;
+//! - lifetimes (`'scope`) are distinguished from char literals (`'a'`), so
+//!   generic code does not desynchronize the scanner;
+//! - nested block comments are tracked to their true end.
+//!
+//! Everything is ASCII-line-oriented: a token's `line` is 1-based, matching
+//! compiler diagnostics and editor links.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, `#`, …). Multi-char
+    /// operators arrive as consecutive tokens; the rules only ever match
+    /// single characters.
+    Punct,
+    /// An integer or float literal (value unused by every rule).
+    Num,
+    /// A string, char, or byte literal (contents deliberately dropped).
+    Lit,
+    /// A lifetime such as `'scope` (distinct from a char literal).
+    Lifetime,
+}
+
+/// One code token: kind, text, and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token text — full identifier text, the single punctuation
+    /// character, or empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One comment (line or block), with its full text preserved for
+/// suppression markers and `SAFETY:` justifications.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (equal to `start_line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` or `/* */` markers.
+    pub text: String,
+}
+
+/// Lexer output: the code token stream plus all comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unknown bytes are skipped (the linter must degrade
+/// gracefully on code the compiler would reject — fixtures do that on
+/// purpose).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text: src[start..i.min(b.len())].to_string(),
+                });
+            }
+            b'"' => {
+                let (ni, nl) = skip_string(b, i, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' | b'c' if raw_or_byte_string_start(b, i).is_some() => {
+                let body = raw_or_byte_string_start(b, i).unwrap_or(i);
+                let tok_line = line;
+                // raw iff the prefix contains `r` (`r"`, `r#"`, `br#"`,
+                // `cr"`); plain `b"`/`c"` strings still honor escapes
+                let (ni, nl) = if is_raw_prefix(b, i, body) {
+                    skip_raw_string(b, body, line, hash_count(b, i, body))
+                } else {
+                    skip_string(b, body, line)
+                };
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // char literal or lifetime?
+                let is_char = matches!(
+                    (b.get(i + 1), b.get(i + 2)),
+                    (Some(b'\\'), _) | (Some(_), Some(b'\''))
+                );
+                if is_char {
+                    // scan to the closing quote, honoring escapes
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&b'\\') {
+                        j += 2; // the escaped char
+                                // \u{...}
+                        if b.get(j - 1) == Some(&b'u') && b.get(j) == Some(&b'{') {
+                            while j < b.len() && b[j] != b'}' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    // lifetime: 'ident
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // integer part (incl. hex/oct/bin and `_` separators)
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                // fractional part — but never swallow `..` (range syntax)
+                if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                }
+                // exponent sign (`1e-3`): the alnum scan above stops at `-`
+                if j < b.len()
+                    && (b[j] == b'+' || b[j] == b'-')
+                    && (b[j - 1] == b'e' || b[j - 1] == b'E')
+                    && b.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                if c.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// after the closing quote and the updated line counter.
+fn skip_string(b: &[u8], start: usize, mut line: u32) -> (usize, u32) {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, line),
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Skips a raw string `r##"…"##` whose opening `"` is at `quote`; `hashes`
+/// is the number of `#`s in the prefix.
+fn skip_raw_string(b: &[u8], quote: usize, mut line: u32, hashes: usize) -> (usize, u32) {
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, line);
+            }
+        }
+        i += 1;
+    }
+    (i, line)
+}
+
+/// If the token starting at `i` is a raw/byte/C string prefix (`r"`, `r#"`,
+/// `br"`, `b"`, `c"`, …), returns the index of the opening `"`.
+fn raw_or_byte_string_start(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    // up to two prefix letters (`br`, `cr`), then optional `#`s, then `"`
+    let mut letters = 0;
+    while j < b.len() && matches!(b[j], b'r' | b'b' | b'c') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    let mut k = j;
+    while k < b.len() && b[k] == b'#' {
+        k += 1;
+    }
+    if k < b.len() && b[k] == b'"' && k > i {
+        // reject plain identifiers like `radius` — the prefix must be
+        // immediately followed by `#`s or the quote. Byte chars (`b'x'`)
+        // are NOT handled here: the `b` lexes as an identifier and the
+        // char-literal path consumes `'x'` correctly.
+        Some(k)
+    } else {
+        None
+    }
+}
+
+/// Whether `i..quote` spells a raw-string prefix (contains `r`).
+fn is_raw_prefix(b: &[u8], i: usize, quote: usize) -> bool {
+    b[i..quote].contains(&b'r')
+}
+
+/// Number of `#`s between the prefix letters and the opening quote.
+fn hash_count(b: &[u8], i: usize, quote: usize) -> usize {
+    b[i..quote].iter().filter(|&&c| c == b'#').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let x = "HashMap::new()";
+            let y = r#"SystemTime"#;
+            let z = 'a';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"SystemTime".to_string()), "{ids:?}");
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; }";
+        let lx = lex(src);
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Lit).count(),
+            1
+        );
+        // the scanner stayed in sync: the closing brace is still a token
+        assert!(lx.tokens.iter().any(|t| t.text == "}"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..n { let f = 1.5e-3; let h = 0xFF_u32; }";
+        let lx = lex(src);
+        // `0..n` must produce Num, '.', '.', Ident(n)
+        let dots = lx.tokens.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2);
+        assert!(idents(src).contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;";
+        let lx = lex(src);
+        let b_tok = lx.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b_tok.line, 4);
+        assert_eq!(lx.comments[0].start_line, 2);
+        assert_eq!(lx.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_single_literals() {
+        let src = r###"let a = b"bytes"; let c = br#"raw "quoted" bytes"#; let d = b'x';"###;
+        let lx = lex(src);
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Lit).count(),
+            3,
+            "{lx:?}"
+        );
+        assert!(lx.tokens.iter().any(|t| t.text == "d"));
+    }
+}

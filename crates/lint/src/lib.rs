@@ -1,0 +1,321 @@
+//! `ft-lint` — the workspace's determinism & accounting static-analysis
+//! pass.
+//!
+//! PR 4 made threaded heals byte-identical to sequential runs; checkpoint/
+//! time-travel, the seeded fault-model axis, and the 10⁷-node incremental
+//! stretch work all *build on* that determinism contract. Nothing enforced
+//! it until now: one stray `HashMap` iteration or unseeded RNG in a hot
+//! path silently breaks replay, and an end-to-end record diff is the only
+//! thing that might notice. `ft-lint` turns the contract into CI-red rules
+//! over the source itself — an offline, dependency-free pass built from a
+//! small hand-rolled lexer ([`lexer`]) and a token-pattern rule engine
+//! ([`rules`]).
+//!
+//! The rule catalog lives in [`RULES`]; the paths each rule binds are in
+//! [`rules::rule_applies`]; the suppression grammar is
+//! `// ft-lint: allow(<rule>, "<reason>")` with a **mandatory** written
+//! reason. See `docs/ARCHITECTURE.md` § "Determinism contract & static
+//! analysis" for the full policy.
+//!
+//! Entry points: [`lint_workspace`] walks a workspace root; `ftree lint`
+//! and the `ft-lint` binary wrap it with human and machine-readable (JSON)
+//! output.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_lint::lint_source;
+//!
+//! let report = lint_source(
+//!     "crates/sim/src/engine.rs",
+//!     "use std::collections::HashMap;\n",
+//! );
+//! assert_eq!(report.violations[0].rule, "nondeterministic-iteration");
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding, Suppressed, RULES, RULE_NAMES};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The whole-workspace lint result.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Violations that survived suppression, sorted by file then line.
+    pub violations: Vec<Finding>,
+    /// Findings silenced by a well-formed `allow(<rule>, "<reason>")`.
+    pub suppressed: Vec<Suppressed>,
+    /// Stale `allow` markers that silenced nothing: `(file, rule, line)`.
+    pub unused_allows: Vec<(String, String, u32)>,
+    /// Number of `.rs` files actually linted.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean (no unsuppressed violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report (stable ordering; relative
+    /// paths only, so output is host-independent).
+    pub fn to_human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        for (file, rule, line) in &self.unused_allows {
+            s.push_str(&format!(
+                "{file}:{line}: note: unused ft-lint allow({rule}) — the marker is stale\n"
+            ));
+        }
+        s.push_str(&format!(
+            "ft-lint: {} file(s) scanned, {} violation(s), {} suppression(s) honored{}\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len(),
+            if self.unused_allows.is_empty() {
+                String::new()
+            } else {
+                format!(", {} stale allow(s)", self.unused_allows.len())
+            },
+        ));
+        s
+    }
+
+    /// Renders the machine-readable JSON report (hand-rolled — the linter
+    /// is dependency-free by design). Stable key order and array ordering.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violations.len()
+        ));
+        s.push_str(&format!(
+            "  \"suppression_count\": {},\n",
+            self.suppressed.len()
+        ));
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"summary\": {}, \"guards\": {}}}{}\n",
+                json_str(r.name),
+                json_str(r.summary),
+                json_str(r.guards),
+                comma(i, RULES.len())
+            ));
+        }
+        s.push_str("  ],\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                comma(i, self.violations.len())
+            ));
+        }
+        s.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, v) in self.suppressed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.reason),
+                comma(i, self.suppressed.len())
+            ));
+        }
+        s.push_str("  ],\n  \"unused_allows\": [\n");
+        for (i, (file, rule, line)) in self.unused_allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}}}{}\n",
+                json_str(rule),
+                json_str(file),
+                line,
+                comma(i, self.unused_allows.len())
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Directories the walker never descends into. `tests`, `benches`,
+/// `examples`, and `fixtures` hold test code (exempt by policy);
+/// `target`/`vendor`/`.git` are build output and vendored shims.
+const SKIP_DIRS: [&str; 7] = [
+    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
+];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    // deterministic traversal → deterministic report ordering
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root`'s `src/` and `crates/*/src/` trees
+/// (test, bench, example, vendored, and fixture code excluded by policy).
+///
+/// `root` is a workspace root — the real repository or a fixture
+/// mini-workspace; reported paths are relative to it.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rules::is_exempt_path(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        let fl = lint_source(&rel, &src);
+        report.files_scanned += 1;
+        report.violations.extend(fl.violations);
+        report.suppressed.extend(fl.suppressed);
+        report.unused_allows.extend(
+            fl.unused_allows
+                .into_iter()
+                .map(|(rule, line)| (rel.clone(), rule, line)),
+        );
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.unused_allows.sort();
+    Ok(report)
+}
+
+/// CLI driver shared by the `ft-lint` binary and `ftree lint`: parses
+/// `--root DIR` / `--format human|json`, prints the report, and returns
+/// the process exit code (0 clean, 1 violations, 2 usage error).
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut root = String::from(".");
+    let mut format = String::from("human");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--root needs a directory argument");
+                    return 2;
+                };
+                root = v.clone();
+                i += 2;
+            }
+            "--format" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--format needs `human` or `json`");
+                    return 2;
+                };
+                if v != "human" && v != "json" {
+                    eprintln!("unknown format `{v}` (human | json)");
+                    return 2;
+                }
+                format = v.clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown ft-lint argument `{other}`");
+                eprintln!("usage: ft-lint [--root DIR] [--format human|json]");
+                return 2;
+            }
+        }
+    }
+    let report = match lint_workspace(Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ft-lint: cannot scan {root}: {e}");
+            return 2;
+        }
+    };
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_human());
+    }
+    i32::from(!report.is_clean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_report_renders_and_exits_zero_shaped() {
+        let r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_human().contains("3 file(s) scanned"));
+        assert!(r.to_json().contains("\"violation_count\": 0"));
+    }
+}

@@ -1,0 +1,724 @@
+//! The rule engine: scopes, detectors, and suppression handling.
+//!
+//! Each rule is a short token-pattern detector bound to a *scope* — the set
+//! of workspace paths where the determinism/accounting contract applies.
+//! Scopes are matched on forward-slash paths relative to the linted root,
+//! so the same policy drives both the real workspace and the test fixture
+//! mini-workspace.
+//!
+//! Test code is exempt everywhere: files named `*_tests.rs`, anything under
+//! a `tests/`, `benches/`, `examples/`, or `fixtures/` directory, and
+//! `#[test]` / `#[cfg(test)]` items inside production files (tracked by
+//! attribute + brace matching). Tests deliberately construct pathological
+//! inputs and assert on panics; the contract binds the engine, not its
+//! interrogators.
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+
+/// The machine name of every rule, in report order.
+pub const RULE_NAMES: [&str; 7] = [
+    "nondeterministic-iteration",
+    "wall-clock-in-protocol",
+    "unseeded-rng",
+    "lossy-cast-in-accounting",
+    "panic-in-engine",
+    "unsafe-without-safety-comment",
+    "malformed-suppression",
+];
+
+/// Static description of one rule (for `--format json` and the docs).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Machine name, as used in `ft-lint: allow(<name>, "…")`.
+    pub name: &'static str,
+    /// One-line human summary.
+    pub summary: &'static str,
+    /// Which replay/accounting property the rule guards.
+    pub guards: &'static str,
+}
+
+/// The rule catalog (see `docs/ARCHITECTURE.md` for the full contract).
+pub const RULES: [RuleInfo; 7] = [
+    RuleInfo {
+        name: "nondeterministic-iteration",
+        summary: "HashMap/HashSet in protocol crates (ft-core, ft-sim, ft-graph): \
+                  iteration order is seeded per process; use BTreeMap/BTreeSet or a \
+                  sorted materialization",
+        guards: "byte-identical replay: any hash-order iteration that reaches an RNG, \
+                 an outbox, or an edge list diverges between runs",
+    },
+    RuleInfo {
+        name: "wall-clock-in-protocol",
+        summary: "Instant/SystemTime outside ft-metrics and ft-bench: protocol code \
+                  must be round-clocked, never wall-clocked",
+        guards: "replayability: wall-clock reads make a run a function of the host, \
+                 not the seed",
+    },
+    RuleInfo {
+        name: "unseeded-rng",
+        summary: "entropy-based RNG construction (thread_rng, OsRng, from_entropy, …) \
+                  in engine/adversary/campaign code: every RNG must flow from an \
+                  explicit seed",
+        guards: "seeded reproduction: one unseeded RNG in a planner invalidates every \
+                 recorded campaign",
+    },
+    RuleInfo {
+        name: "lossy-cast-in-accounting",
+        summary: "`as` numeric casts in MsgLedger/stretch arithmetic: use From/\
+                  try_from or checked ops so ledger identities cannot silently wrap",
+        guards: "accounting identities: the reconciliation proof assumes exact \
+                 arithmetic",
+    },
+    RuleInfo {
+        name: "panic-in-engine",
+        summary: "unwrap/expect/panic!/indexing in Network::step*/run_until*/deliver* \
+                  hot paths: a mid-round panic tears down a sharded round and \
+                  corrupts in-flight accounting",
+        guards: "crash-consistency of the round engine's books",
+    },
+    RuleInfo {
+        name: "unsafe-without-safety-comment",
+        summary: "`unsafe` without a `// SAFETY:` comment in the preceding lines",
+        guards: "auditable soundness: every unsafe block carries its proof obligation",
+    },
+    RuleInfo {
+        name: "malformed-suppression",
+        summary: "an `ft-lint: allow(...)` marker with an unknown rule name or a \
+                  missing/empty reason string",
+        guards: "suppression accountability: every exemption names its rule and its \
+                 written justification",
+    },
+];
+
+/// One violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// One honored suppression: a finding that an `allow` marker silenced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressed {
+    /// Rule name of the silenced finding.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the silenced finding.
+    pub line: u32,
+    /// The written reason carried by the marker.
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileLint {
+    /// Violations that survived suppression.
+    pub violations: Vec<Finding>,
+    /// Findings silenced by a well-formed `allow` marker.
+    pub suppressed: Vec<Suppressed>,
+    /// `allow` markers that silenced nothing (reported, never fatal —
+    /// usually a fix made the marker stale).
+    pub unused_allows: Vec<(String, u32)>,
+}
+
+/// A parsed `// ft-lint: allow(<rule>, "<reason>")` marker.
+#[derive(Clone, Debug)]
+struct Allow {
+    rule: String,
+    reason: String,
+    line: u32,
+    used: bool,
+}
+
+// ---------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------
+
+/// Files that are test/bench/example code and never linted.
+pub fn is_exempt_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.ends_with("_tests.rs")
+        || p.split('/').any(|seg| {
+            matches!(
+                seg,
+                "tests" | "benches" | "examples" | "fixtures" | "target" | "vendor"
+            )
+        })
+}
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Whether `rule` applies to the file at workspace-relative `path`.
+pub fn rule_applies(rule: &str, path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    if is_exempt_path(&p) {
+        return false;
+    }
+    match rule {
+        // Protocol state machines and the graph/topology substrate: any
+        // hash-order iteration here can reach a heal decision or a
+        // generated topology.
+        "nondeterministic-iteration" => in_any(
+            &p,
+            &["crates/core/src", "crates/sim/src", "crates/graph/src"],
+        ),
+        // Everything except the measurement crates (ft-metrics, ft-bench),
+        // which legitimately time campaigns.
+        "wall-clock-in-protocol" | "unseeded-rng" => in_any(
+            &p,
+            &[
+                "crates/core/src",
+                "crates/sim/src",
+                "crates/graph/src",
+                "crates/adversary/src",
+                "crates/baselines/src",
+                "src/",
+            ],
+        ),
+        // The two accounting arithmetic sites whose identities the
+        // theorems cite.
+        "lossy-cast-in-accounting" => {
+            p == "crates/sim/src/ledger.rs" || p == "crates/metrics/src/stretch.rs"
+        }
+        // The round engine's hot paths (function scope applied separately).
+        "panic-in-engine" => p == "crates/sim/src/network.rs",
+        "unsafe-without-safety-comment" | "malformed-suppression" => true,
+        _ => false,
+    }
+}
+
+/// Hot-path functions inside `network.rs` covered by `panic-in-engine`.
+fn is_engine_hot_fn(name: &str) -> bool {
+    name.starts_with("step")
+        || name.starts_with("run_until")
+        || name.starts_with("deliver_")
+        || name == "finish_round"
+}
+
+// ---------------------------------------------------------------------
+// Token-context analysis: test regions and enclosing functions
+// ---------------------------------------------------------------------
+
+/// Per-token context derived in one forward pass: whether the token sits in
+/// a `#[test]`/`#[cfg(test)]` item, and the innermost enclosing `fn` name.
+struct Ctx {
+    in_test: Vec<bool>,
+    enclosing_fn: Vec<Option<String>>,
+}
+
+fn analyze(lx: &Lexed) -> Ctx {
+    let toks = &lx.tokens;
+    let n = toks.len();
+    let mut in_test = vec![false; n];
+    let mut enclosing_fn: Vec<Option<String>> = vec![None; n];
+
+    // --- test regions: `#[...test...]` attribute gates the next item ---
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
+            // scan the attribute to its matching `]`
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if toks[j].kind == TokKind::Ident => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // the gated item runs to the close of its first `{…}` body
+                // or to a `;` at bracket depth 0, whichever comes first
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut opened = false;
+                while k < n {
+                    match toks[k].text.as_str() {
+                        "{" | "(" | "[" => {
+                            depth += 1;
+                            opened = opened || toks[k].text == "{";
+                        }
+                        "}" | ")" | "]" => {
+                            depth -= 1;
+                            if depth == 0 && opened && toks[k].text == "}" {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for flag in in_test.iter_mut().take(k.min(n - 1) + 1).skip(i) {
+                    *flag = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // --- enclosing functions: `fn name … { body }` spans ---
+    // stack of (fn name, brace depth at its body's open)
+    let mut stack: Vec<(String, i32)> = Vec::new();
+    let mut brace_depth = 0i32;
+    let mut pending_fn: Option<String> = None;
+    for (idx, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "fn" if t.kind == TokKind::Ident => {
+                if let Some(name) = toks.get(idx + 1) {
+                    if name.kind == TokKind::Ident {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+            }
+            "{" => {
+                brace_depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    stack.push((name, brace_depth));
+                }
+            }
+            "}" => {
+                if let Some((_, d)) = stack.last() {
+                    if *d == brace_depth {
+                        stack.pop();
+                    }
+                }
+                brace_depth -= 1;
+            }
+            // `fn f();` — a bodyless signature cancels the pending fn
+            ";" if brace_depth == 0 || stack.last().is_none_or(|(_, d)| *d < brace_depth) => {
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        enclosing_fn[idx] = stack.last().map(|(name, _)| name.clone());
+    }
+
+    Ctx {
+        in_test,
+        enclosing_fn,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detectors
+// ---------------------------------------------------------------------
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+const ENTROPY_CONSTRUCTORS: [&str; 6] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "from_os_rng",
+    "getrandom",
+];
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Runs every applicable detector over the token stream, producing raw
+/// findings (suppression is applied by the caller).
+fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            file: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    let iteration = rule_applies("nondeterministic-iteration", path);
+    let wall_clock = rule_applies("wall-clock-in-protocol", path);
+    let rng = rule_applies("unseeded-rng", path);
+    let cast = rule_applies("lossy-cast-in-accounting", path);
+    let engine = rule_applies("panic-in-engine", path);
+    let safety = rule_applies("unsafe-without-safety-comment", path);
+
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+
+        if iteration && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                "nondeterministic-iteration",
+                t.line,
+                format!(
+                    "{} in a protocol crate: iteration order is seeded per process; \
+                     use BTreeMap/BTreeSet, a dense Vec keyed by NodeId, or a sorted \
+                     materialization",
+                    t.text
+                ),
+            );
+        }
+
+        if wall_clock && t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime")
+        {
+            push(
+                "wall-clock-in-protocol",
+                t.line,
+                format!(
+                    "{} in protocol code: rounds are the only clock the replay \
+                     contract knows; wall timing belongs in ft-metrics/ft-bench",
+                    t.text
+                ),
+            );
+        }
+
+        if rng && t.kind == TokKind::Ident && ENTROPY_CONSTRUCTORS.contains(&t.text.as_str()) {
+            push(
+                "unseeded-rng",
+                t.line,
+                format!(
+                    "{}: RNGs in engine/adversary/campaign code must be constructed \
+                     from an explicit seed (StdRng::seed_from_u64) that appears in \
+                     the campaign record",
+                    t.text
+                ),
+            );
+        }
+
+        if cast && is_ident(t, "as") {
+            if let Some(ty) = next {
+                if ty.kind == TokKind::Ident && NUMERIC_TYPES.contains(&ty.text.as_str()) {
+                    push(
+                        "lossy-cast-in-accounting",
+                        t.line,
+                        format!(
+                            "`as {}` in accounting arithmetic: use From/try_from or \
+                             checked ops so a narrowing can never silently wrap the \
+                             ledger identities",
+                            ty.text
+                        ),
+                    );
+                }
+            }
+        }
+
+        if engine {
+            let hot = ctx.enclosing_fn[i].as_deref().is_some_and(is_engine_hot_fn);
+            if hot {
+                // .unwrap( / .expect(
+                if t.kind == TokKind::Ident
+                    && (t.text == "unwrap" || t.text == "expect")
+                    && prev.is_some_and(|p| p.text == ".")
+                    && next.is_some_and(|nx| nx.text == "(")
+                {
+                    push(
+                        "panic-in-engine",
+                        t.line,
+                        format!(
+                            ".{}() in a round-engine hot path: a mid-round panic \
+                             tears down the shard barrier with charges half-applied",
+                            t.text
+                        ),
+                    );
+                }
+                // panic! / unreachable! / todo! / unimplemented!
+                if t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    )
+                    && next.is_some_and(|nx| nx.text == "!")
+                {
+                    push(
+                        "panic-in-engine",
+                        t.line,
+                        format!("{}! in a round-engine hot path", t.text),
+                    );
+                }
+                // indexing: `expr[` where expr ends in an identifier,
+                // `)` or `]` — attribute `#[` and macro `vec![` excluded
+                // because their previous token is `#` resp. `!`.
+                if t.text == "["
+                    && prev.is_some_and(|p| {
+                        p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text)
+                            || p.text == ")"
+                            || p.text == "]"
+                    })
+                {
+                    push(
+                        "panic-in-engine",
+                        t.line,
+                        "indexing in a round-engine hot path can panic out-of-bounds \
+                         mid-round; prefer .get()/.get_mut() or justify the slot \
+                         invariant"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if safety && is_ident(t, "unsafe") && !has_safety_comment(&lx.comments, t.line) {
+            push(
+                "unsafe-without-safety-comment",
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment in the preceding lines: \
+                 every unsafe block must state why its obligations hold"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// Identifiers that legitimately precede `[` without forming an index
+/// expression (`let [a, b] = …`, `impl … for [T]`, `in [1, 2]`, …).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "let" | "in" | "for" | "mut" | "ref" | "return" | "as" | "dyn" | "impl" | "else" | "match"
+    )
+}
+
+/// Whether a comment containing `SAFETY:` ends on `line` or within the 8
+/// preceding lines (covering a multi-line justification block directly
+/// above the `unsafe` keyword, or a trailing comment on the same line).
+fn has_safety_comment(comments: &[Comment], line: u32) -> bool {
+    comments
+        .iter()
+        .any(|c| c.text.contains("SAFETY:") && c.end_line <= line && c.end_line + 8 >= line)
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+/// Parses every `ft-lint: allow(<rule>, "<reason>")` marker; malformed
+/// markers become findings of the `malformed-suppression` rule.
+fn parse_allows(comments: &[Comment], path: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Doc comments are rendered prose — the marker grammar may be
+        // *described* there without counting as a (possibly malformed)
+        // suppression. Real markers must be plain `//` / `/*` comments.
+        let is_doc = ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p));
+        if is_doc {
+            continue;
+        }
+        let Some(pos) = c.text.find("ft-lint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "ft-lint:".len()..].trim_start();
+        let mut fail = |why: &str| {
+            bad.push(Finding {
+                rule: "malformed-suppression",
+                file: path.to_string(),
+                line: c.start_line,
+                message: format!("malformed ft-lint marker: {why}"),
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow") else {
+            fail("expected `allow(<rule>, \"<reason>\")`");
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(inner) = args
+            .strip_prefix('(')
+            .and_then(|a| a.rfind(')').map(|e| &a[..e]))
+        else {
+            fail("expected `(<rule>, \"<reason>\")` after `allow`");
+            continue;
+        };
+        let Some((rule_part, reason_part)) = inner.split_once(',') else {
+            fail("missing the reason argument — every suppression must carry one");
+            continue;
+        };
+        let rule = rule_part.trim().to_string();
+        if !RULE_NAMES.contains(&rule.as_str()) {
+            fail(&format!("unknown rule `{rule}`"));
+            continue;
+        }
+        let reason_part = reason_part.trim();
+        let reason = reason_part
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            fail("empty reason — every suppression must say why the code is exempt");
+            continue;
+        }
+        allows.push(Allow {
+            rule,
+            reason: reason.to_string(),
+            line: c.start_line,
+            used: false,
+        });
+    }
+    (allows, bad)
+}
+
+/// Lints one file's source. `path` is the workspace-relative path used for
+/// scope decisions and reporting.
+pub fn lint_source(path: &str, src: &str) -> FileLint {
+    let path = path.replace('\\', "/");
+    let mut out = FileLint::default();
+    if is_exempt_path(&path) {
+        return out;
+    }
+    let lx = lex(src);
+    let ctx = analyze(&lx);
+    let findings = detect(&path, &lx, &ctx);
+    let (mut allows, malformed) = parse_allows(&lx.comments, &path);
+
+    for f in findings {
+        // a marker covers findings on its own line (trailing comment) and
+        // on the line directly below it (standalone comment above the code)
+        let hit = allows
+            .iter_mut()
+            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        match hit {
+            Some(a) => {
+                a.used = true;
+                out.suppressed.push(Suppressed {
+                    rule: f.rule,
+                    file: f.file,
+                    line: f.line,
+                    reason: a.reason.clone(),
+                });
+            }
+            None => out.violations.push(f),
+        }
+    }
+    out.violations.extend(malformed);
+    out.unused_allows.extend(
+        allows
+            .iter()
+            .filter(|a| !a.used)
+            .map(|a| (a.rule.clone(), a.line)),
+    );
+    out.violations
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_flagged_only_in_protocol_scope() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let hits = lint_source("crates/sim/src/engine.rs", src);
+        assert_eq!(hits.violations.len(), 3);
+        assert!(hits
+            .violations
+            .iter()
+            .all(|v| v.rule == "nondeterministic-iteration"));
+        let out_of_scope = lint_source("crates/metrics/src/stress.rs", src);
+        assert!(out_of_scope.violations.is_empty());
+    }
+
+    #[test]
+    fn test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { let _ = HashMap::<u32, u32>::new(); }\n}\n";
+        let hits = lint_source("crates/core/src/spec.rs", src);
+        assert!(hits.violations.is_empty(), "{:?}", hits.violations);
+    }
+
+    #[test]
+    fn engine_rule_is_function_scoped() {
+        let src = "fn step(&mut self) { self.x.unwrap(); }\nfn helper() { self.x.unwrap(); }\n";
+        let hits = lint_source("crates/sim/src/network.rs", src);
+        assert_eq!(hits.violations.len(), 1, "{:?}", hits.violations);
+        assert_eq!(hits.violations[0].line, 1);
+    }
+
+    #[test]
+    fn indexing_detection_skips_attrs_macros_and_patterns() {
+        let src = "fn deliver_seq(&mut self) {\n    #[allow(dead_code)]\n    let v = vec![1, 2];\n    let [a, b] = [3, 4];\n    let x = v[0];\n}\n";
+        let hits = lint_source("crates/sim/src/network.rs", src);
+        assert_eq!(hits.violations.len(), 1, "{:?}", hits.violations);
+        assert_eq!(hits.violations[0].line, 5);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_unsafe_rule() {
+        let ok = "// SAFETY: the borrow dies before 'scope ends.\nlet x = unsafe { f() };\n";
+        assert!(lint_source("crates/sim/src/pool.rs", ok)
+            .violations
+            .is_empty());
+        let bad = "let x = unsafe { f() };\n";
+        let hits = lint_source("crates/sim/src/pool.rs", bad);
+        assert_eq!(hits.violations.len(), 1);
+        assert_eq!(hits.violations[0].rule, "unsafe-without-safety-comment");
+    }
+
+    #[test]
+    fn allow_markers_suppress_and_carry_reasons() {
+        let src = "// ft-lint: allow(nondeterministic-iteration, \"keyed lookups only\")\nuse std::collections::HashMap;\n";
+        let hits = lint_source("crates/core/src/spec.rs", src);
+        assert!(hits.violations.is_empty(), "{:?}", hits.violations);
+        assert_eq!(hits.suppressed.len(), 1);
+        assert_eq!(hits.suppressed[0].reason, "keyed lookups only");
+    }
+
+    #[test]
+    fn bare_or_unknown_suppressions_are_violations() {
+        let no_reason =
+            "use std::collections::HashMap; // ft-lint: allow(nondeterministic-iteration)\n";
+        let hits = lint_source("crates/core/src/spec.rs", no_reason);
+        assert!(hits
+            .violations
+            .iter()
+            .any(|v| v.rule == "malformed-suppression"));
+        let unknown = "// ft-lint: allow(no-such-rule, \"hm\")\nfn f() {}\n";
+        let hits = lint_source("crates/core/src/spec.rs", unknown);
+        assert!(hits
+            .violations
+            .iter()
+            .any(|v| v.rule == "malformed-suppression" && v.message.contains("no-such-rule")));
+    }
+
+    #[test]
+    fn unused_allows_are_reported_not_fatal() {
+        let src = "// ft-lint: allow(unseeded-rng, \"stale marker\")\nfn f() {}\n";
+        let hits = lint_source("crates/core/src/spec.rs", src);
+        assert!(hits.violations.is_empty());
+        assert_eq!(hits.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src = "// HashMap, Instant, thread_rng — all prose\nfn f() { let _ = \"HashMap Instant thread_rng\"; }\n";
+        let hits = lint_source("crates/sim/src/engine.rs", src);
+        assert!(hits.violations.is_empty(), "{:?}", hits.violations);
+    }
+}

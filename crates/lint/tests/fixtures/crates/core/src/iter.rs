@@ -1,0 +1,4 @@
+pub fn tally() {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    drop(m);
+}

@@ -1,0 +1,2 @@
+// ft-lint: allow(no-such-rule, "this rule name does not exist")
+pub fn noop() {}

@@ -1,0 +1,4 @@
+pub fn stamp() {
+    let t = std::time::Instant::now();
+    drop(t);
+}

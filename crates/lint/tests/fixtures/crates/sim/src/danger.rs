@@ -1,0 +1,3 @@
+pub fn zeroed() -> u32 {
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,3 @@
+pub fn step_once(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

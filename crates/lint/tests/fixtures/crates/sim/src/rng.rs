@@ -1,0 +1,4 @@
+pub fn roll() {
+    let r = rand::thread_rng();
+    drop(r);
+}

@@ -1,0 +1,83 @@
+//! Golden tests for the lint pass: the seeded fixture mini-workspace under
+//! `tests/fixtures/` trips every rule exactly once, the CLI maps that to a
+//! non-zero exit, and the *real* workspace lints clean (every remaining
+//! finding is covered by a reasoned `allow` marker).
+
+use ft_lint::{lint_workspace, run_cli};
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn fixtures_trip_every_rule_exactly_once() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree is readable");
+    let mut got: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect();
+    got.sort_unstable();
+    let mut want = vec![
+        ("nondeterministic-iteration", "crates/core/src/iter.rs", 2),
+        ("malformed-suppression", "crates/core/src/marker.rs", 1),
+        ("wall-clock-in-protocol", "crates/sim/src/clock.rs", 2),
+        ("unseeded-rng", "crates/sim/src/rng.rs", 2),
+        ("lossy-cast-in-accounting", "crates/sim/src/ledger.rs", 2),
+        ("panic-in-engine", "crates/sim/src/network.rs", 2),
+        (
+            "unsafe-without-safety-comment",
+            "crates/sim/src/danger.rs",
+            2,
+        ),
+    ];
+    want.sort_unstable();
+    assert_eq!(got, want, "one violation per rule, nothing extra");
+    assert!(report.suppressed.is_empty());
+    assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixtures() {
+    let args = vec!["--root".to_string(), fixtures_root().display().to_string()];
+    assert_eq!(run_cli(&args), 1);
+}
+
+#[test]
+fn cli_rejects_bad_flags() {
+    assert_eq!(run_cli(&["--format".to_string(), "yaml".to_string()]), 2);
+    assert_eq!(run_cli(&["--frmt".to_string()]), 2);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The acceptance bar for the whole repository: `ftree lint` exits 0,
+    // i.e. every remaining finding carries a written-reason suppression.
+    let report = lint_workspace(&workspace_root()).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "unsuppressed violations:\n{}",
+        report.to_human()
+    );
+    // The suppression ledger itself stays tidy: no stale markers.
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allow markers: {:?}",
+        report.unused_allows
+    );
+}
+
+#[test]
+fn json_report_is_stable_and_tagged() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree is readable");
+    let json = report.to_json();
+    assert!(json.contains("\"violation_count\": 7"));
+    for rule in ft_lint::RULE_NAMES {
+        assert!(json.contains(rule), "rule {rule} missing from JSON report");
+    }
+}

@@ -75,13 +75,13 @@ fn source_pass(healed: &Graph, pristine: &Graph, src: NodeId, sampled: &[bool]) 
         if v < src && sampled.get(v.index()).copied().unwrap_or(false) {
             continue;
         }
-        let Some(&pd) = dp.get(&v) else {
+        let Some(pd) = dp.get(v) else {
             // not reachable in the pristine graph either: no pair to score
             continue;
         };
-        match dh.get(&v) {
+        match dh.get(v) {
             None => pass.disconnected += 1,
-            Some(&hd) => {
+            Some(hd) => {
                 let s = f64::from(hd) / f64::from(pd);
                 pass.pairs += 1;
                 pass.sum += s;
@@ -178,6 +178,7 @@ pub fn measure_stretch_mt(
         report.disconnected_pairs += pass.disconnected;
     }
     if report.pairs > 0 {
+        // ft-lint: allow(lossy-cast-in-accounting, "pairs < n^2 <= 2^53 at any experiment scale, so the usize->f64 conversion is exact")
         report.mean_stretch = sum / report.pairs as f64;
     }
     report

@@ -157,7 +157,7 @@ mod tests {
         let depths = out.tree.depths();
         let dist = ft_graph::bfs::bfs_distances(&g, NodeId(0));
         for (v, d) in depths {
-            assert_eq!(d, dist[&v], "BFS depth mismatch at {v:?}");
+            assert_eq!(d, dist[v], "BFS depth mismatch at {v:?}");
         }
     }
 

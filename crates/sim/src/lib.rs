@@ -69,8 +69,6 @@
 //! tree construction with latency equal to the root's eccentricity (the
 //! stand-in for Cohen's algorithm cited by the paper).
 
-#![warn(missing_docs)]
-
 pub mod bfs;
 pub mod campaign;
 pub mod ledger;

@@ -11,6 +11,7 @@
 //! ftree stress  --model graph --nodes 10000 --events 2000 --wave 50 \
 //!               --planner mixed --insert-frac 0.4 --seed 42 \
 //!               --threads 4 --out BENCH_graph.json
+//! ftree lint    [--root DIR] [--format human|json]
 //! ftree help
 //! ```
 //!
@@ -30,7 +31,8 @@ fn usage() -> ! {
          ftree scaling --healer H --adversary A\n  \
          ftree duel    --workload W\n  \
          ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--cadence per-deletion|per-wave] [--seed S] [--threads T] [--out FILE]\n  \
-         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--threads T] [--out FILE]\n\n\
+         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--threads T] [--out FILE]\n  \
+         ftree lint    [--root DIR] [--format human|json]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
          healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
@@ -340,6 +342,7 @@ fn main() {
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("duel") => cmd_duel(&args[1..]),
         Some("stress") => cmd_stress(&args[1..]),
+        Some("lint") => exit(forgiving_tree::lint::run_cli(&args[1..])),
         _ => usage(),
     }
 }
