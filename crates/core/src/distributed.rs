@@ -1187,7 +1187,7 @@ impl DistributedForgivingTree {
     pub fn delete(&mut self, v: NodeId) -> HealReport {
         let before_graph = self.net.graph().clone();
         let notice = self.net.delete_node(v);
-        let (rounds, merged) = self.net.run_until_quiet(12);
+        let ((rounds, merged), _) = self.net.run_until_quiet(12);
         let mut edges_added = Vec::new();
         for (a, b) in self.net.graph().edges() {
             if !before_graph.has_edge(a, b) {

@@ -268,6 +268,13 @@ impl DistributedForgivingGraph {
         &self.net
     }
 
+    /// Mutable access to the underlying simulated network — the hook the
+    /// campaign harnesses use to arm the churn journal for incremental
+    /// measurement passes.
+    pub fn network_mut(&mut self) -> &mut Network<FgNode> {
+        &mut self.net
+    }
+
     /// Applies one mixed insert/delete wave through a campaign driver,
     /// keeping the pristine baseline in lockstep with the insertions.
     ///
@@ -329,7 +336,7 @@ impl DistributedForgivingGraph {
     pub fn delete(&mut self, v: NodeId) -> HealReport {
         let before_graph = self.net.graph().clone();
         let notice = self.net.delete_node(v);
-        let (rounds, merged) = self.net.run_until_quiet(8);
+        let ((rounds, merged), _) = self.net.run_until_quiet(8);
         let mut edges_added = Vec::new();
         for (a, b) in self.net.graph().edges() {
             if !before_graph.has_edge(a, b) {

@@ -32,7 +32,7 @@ pub struct DistanceMap {
 
 impl DistanceMap {
     /// An all-[`UNREACHED`] table covering `cap` id-space slots.
-    fn with_capacity(cap: usize) -> Self {
+    pub fn with_capacity(cap: usize) -> Self {
         DistanceMap {
             dist: vec![UNREACHED; cap],
             reached: 0,
@@ -44,6 +44,44 @@ impl DistanceMap {
         debug_assert_eq!(self.dist[v.index()], UNREACHED, "BFS visits once");
         self.dist[v.index()] = d;
         self.reached += 1;
+    }
+
+    /// Extends the table to cover `cap` id-space slots (new slots start
+    /// unreached). A no-op when the table is already large enough —
+    /// incremental maintainers call this as the id space grows.
+    pub fn grow(&mut self, cap: usize) {
+        if cap > self.dist.len() {
+            self.dist.resize(cap, UNREACHED);
+        }
+    }
+
+    /// Assigns (or overwrites) `v`'s distance, maintaining the reached
+    /// count — the mutation incremental distance repair is built on, where
+    /// a slot's label legitimately changes over the structure's lifetime.
+    ///
+    /// # Panics
+    /// Panics if `d` is [`UNREACHED`] (use [`DistanceMap::clear_slot`]) or
+    /// `v` is outside the table.
+    pub fn assign(&mut self, v: NodeId, d: u32) {
+        assert_ne!(d, UNREACHED, "assign cannot unreach; use clear_slot");
+        let slot = &mut self.dist[v.index()];
+        if *slot == UNREACHED {
+            self.reached += 1;
+        }
+        *slot = d;
+    }
+
+    /// Clears `v`'s slot back to unreached, returning the distance it held
+    /// (or `None` when it was already unreached / out of range).
+    pub fn clear_slot(&mut self, v: NodeId) -> Option<u32> {
+        let slot = self.dist.get_mut(v.index())?;
+        if *slot == UNREACHED {
+            return None;
+        }
+        let d = *slot;
+        *slot = UNREACHED;
+        self.reached -= 1;
+        Some(d)
     }
 
     /// Distance of `v` from the source, or `None` when `v` was not reached
@@ -307,6 +345,25 @@ mod tests {
         let g = gen::path(5);
         assert_eq!(eccentricity(&g, NodeId(0)), Some(4));
         assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn distance_map_mutators_maintain_reached_count() {
+        let mut d = DistanceMap::with_capacity(3);
+        assert!(d.is_empty());
+        d.assign(NodeId(0), 5);
+        d.assign(NodeId(0), 2); // overwrite: reached unchanged
+        d.assign(NodeId(2), 7);
+        assert_eq!((d.len(), d.get(NodeId(0))), (2, Some(2)));
+        assert_eq!(d.clear_slot(NodeId(2)), Some(7));
+        assert_eq!(d.clear_slot(NodeId(2)), None, "already unreached");
+        assert_eq!(d.clear_slot(NodeId(9)), None, "out of range");
+        assert_eq!(d.len(), 1);
+        d.grow(6);
+        d.assign(NodeId(5), 1);
+        assert_eq!(d.get(NodeId(5)), Some(1));
+        d.grow(2); // shrinking is a no-op
+        assert_eq!(d.get(NodeId(5)), Some(1));
     }
 
     #[test]

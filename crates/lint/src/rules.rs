@@ -184,10 +184,15 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
                 "src/",
             ],
         ),
-        // The two accounting arithmetic sites whose identities the
-        // theorems cite.
+        // The accounting arithmetic sites whose identities the theorems
+        // and the cost-model baselines cite: the message ledger, the whole
+        // operation-cost crate, and both stretch engines (full sweep and
+        // incremental tracker).
         "lossy-cast-in-accounting" => {
-            p == "crates/sim/src/ledger.rs" || p == "crates/metrics/src/stretch.rs"
+            p == "crates/sim/src/ledger.rs"
+                || p == "crates/metrics/src/stretch.rs"
+                || p == "crates/metrics/src/stretch_inc.rs"
+                || in_any(&p, &["crates/costs/src"])
         }
         // The round engine's hot paths (function scope applied separately).
         "panic-in-engine" => p == "crates/sim/src/network.rs",

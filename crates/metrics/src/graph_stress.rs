@@ -14,9 +14,11 @@
 //! either O(log n) bound is exceeded, so it doubles as the end-to-end
 //! acceptance check in CI.
 
-use crate::stretch::{measure_stretch_mt, StretchReport};
+use crate::stretch::{measure_stretch_full, StretchReport};
+use crate::stretch_inc::StretchTracker;
 use ft_adversary::{make_churn_planner, AdversaryView};
 use ft_core::{fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph};
+use ft_costs::OperationCost;
 use ft_graph::gen;
 use ft_sim::{Campaign, CampaignConfig};
 use rand::rngs::StdRng;
@@ -43,9 +45,14 @@ pub struct GraphStressConfig {
     /// BFS sources sampled by the stretch pass.
     pub stretch_sources: usize,
     /// Worker threads: shards the round engine's heavy rounds *and* the
-    /// stretch pass's BFS sources (1 = sequential; results are
+    /// full stretch pass's BFS sources (1 = sequential; results are
     /// byte-identical for any value).
     pub threads: usize,
+    /// Stretch engine: `incremental` (default — per-source distance fields
+    /// repaired from the churn journal), `full` (from-scratch re-sweep), or
+    /// `both` (run both and panic unless every figure agrees — the
+    /// differential-oracle mode CI exercises).
+    pub stretch_mode: String,
 }
 
 impl Default for GraphStressConfig {
@@ -60,6 +67,7 @@ impl Default for GraphStressConfig {
             seed: 42,
             stretch_sources: 16,
             threads: 1,
+            stretch_mode: String::from("incremental"),
         }
     }
 }
@@ -117,6 +125,19 @@ pub struct GraphStressRecord {
     pub stretch: StretchReport,
     /// The enforced stretch bound, `⌈log₂ n⌉ + 2`.
     pub stretch_bound: f64,
+    /// Stretch engine the recorded figures came from (`incremental` when
+    /// the mode was `both` — the full pass is the oracle, not the record).
+    pub stretch_mode: String,
+    /// Whether full and incremental figures agreed (vacuously true outside
+    /// `both` mode; a disagreement panics the harness).
+    pub stretch_modes_agree: bool,
+    /// Engine-side operation cost of the whole campaign (accumulated by
+    /// the round engine; `cost.messages_delivered` reconciles with the
+    /// ledger's delivered book by construction).
+    pub cost: OperationCost,
+    /// Operation cost of the stretch measurement (BFS/repair settles,
+    /// adjacency scans, distance-table bytes).
+    pub stretch_cost: OperationCost,
     /// Whether the ledger identities held (always true on return).
     pub balanced: bool,
     /// Whether degree and stretch stayed within the O(log n) bounds
@@ -168,6 +189,18 @@ impl GraphStressRecord {
                 "  \"max_stretch\": {:.4},\n",
                 "  \"mean_stretch\": {:.4},\n",
                 "  \"stretch_bound\": {:.1},\n",
+                "  \"stretch_mode\": \"{}\",\n",
+                "  \"stretch_modes_agree\": {},\n",
+                "  \"cost_messages_sent\": {},\n",
+                "  \"cost_messages_delivered\": {},\n",
+                "  \"cost_node_visits\": {},\n",
+                "  \"cost_edge_scans\": {},\n",
+                "  \"cost_heap_bytes\": {},\n",
+                "  \"cost_seeks\": {},\n",
+                "  \"stretch_node_visits\": {},\n",
+                "  \"stretch_edge_scans\": {},\n",
+                "  \"stretch_heap_bytes\": {},\n",
+                "  \"stretch_seeks\": {},\n",
                 "  \"balanced\": {},\n",
                 "  \"within_bounds\": {},\n",
                 "  \"converged\": {}\n",
@@ -206,6 +239,18 @@ impl GraphStressRecord {
             self.stretch.max_stretch,
             self.stretch.mean_stretch,
             self.stretch_bound,
+            self.stretch_mode,
+            self.stretch_modes_agree,
+            self.cost.messages_sent,
+            self.cost.messages_delivered,
+            self.cost.node_visits,
+            self.cost.edge_scans,
+            self.cost.heap_bytes,
+            self.cost.seeks,
+            self.stretch_cost.node_visits,
+            self.stretch_cost.edge_scans,
+            self.stretch_cost.heap_bytes,
+            self.stretch_cost.seeks,
             self.balanced,
             self.within_bounds,
             self.converged,
@@ -261,6 +306,11 @@ fn initial_graph(cfg: &GraphStressConfig, rng: &mut StdRng) -> ft_graph::Graph {
 /// will audit, lost connectivity, or an O(log n) bound violation — a
 /// non-zero exit is the CI failure signal.
 pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
+    assert!(
+        matches!(cfg.stretch_mode.as_str(), "full" | "incremental" | "both"),
+        "unknown stretch mode: {} (full | incremental | both)",
+        cfg.stretch_mode
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let g = initial_graph(cfg, &mut rng);
     let mut dist = DistributedForgivingGraph::new(&g);
@@ -270,6 +320,21 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         threads: cfg.threads.max(1),
         ..CampaignConfig::default()
     });
+    // The incremental tracker is armed before the first wave and repairs
+    // its fields from each wave's drained churn journal; its wall time is
+    // metered separately so `elapsed_secs` stays campaign-only.
+    let mut tracker = if cfg.stretch_mode == "full" {
+        None
+    } else {
+        dist.network_mut().set_churn_journal(true);
+        Some(StretchTracker::new(
+            dist.graph(),
+            dist.pristine(),
+            cfg.stretch_sources,
+            cfg.seed,
+        ))
+    };
+    let mut stretch_wall = 0.0f64;
 
     let start = Instant::now();
     let mut remaining = cfg.events;
@@ -287,8 +352,14 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         }
         remaining = remaining.saturating_sub(events.len());
         dist.run_wave(&mut campaign, &events);
+        if let Some(t) = tracker.as_mut() {
+            let journal = dist.network_mut().drain_churn_journal();
+            let t0 = Instant::now();
+            t.apply_wave(dist.graph(), dist.pristine(), &journal);
+            stretch_wall += t0.elapsed().as_secs_f64();
+        }
     }
-    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let elapsed = (start.elapsed().as_secs_f64() - stretch_wall).max(1e-9);
 
     dist.network()
         .check_accounting()
@@ -308,15 +379,36 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     let degree_bound = fg_degree_bound(capacity);
     let stretch_bound = fg_stretch_bound(capacity);
     let max_degree_increase = dist.max_degree_increase();
-    let stretch_start = Instant::now();
-    let stretch = measure_stretch_mt(
-        dist.graph(),
-        dist.pristine(),
-        cfg.stretch_sources,
-        cfg.seed,
-        cfg.threads.max(1),
-    );
-    let stretch_wall_ms = stretch_start.elapsed().as_secs_f64() * 1e3;
+    let full_pass = || {
+        let t0 = Instant::now();
+        let (report, cost) = measure_stretch_full(
+            dist.graph(),
+            dist.pristine(),
+            cfg.stretch_sources,
+            cfg.seed,
+            cfg.threads.max(1),
+        );
+        (report, cost, t0.elapsed().as_secs_f64())
+    };
+    let (stretch, stretch_cost, stretch_wall_ms) = match (&tracker, cfg.stretch_mode.as_str()) {
+        (None, _) => {
+            let (report, cost, secs) = full_pass();
+            (report, cost, secs * 1e3)
+        }
+        (Some(t), mode) => {
+            let t0 = Instant::now();
+            let report = t.report(dist.graph());
+            stretch_wall += t0.elapsed().as_secs_f64();
+            if mode == "both" {
+                let (oracle, _, _) = full_pass();
+                assert_eq!(
+                    report, oracle,
+                    "incremental stretch diverged from the full-sweep oracle"
+                );
+            }
+            (report, t.cost(), stretch_wall * 1e3)
+        }
+    };
     assert_eq!(
         stretch.disconnected_pairs, 0,
         "surviving pair unreachable in the healed graph"
@@ -332,6 +424,12 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     );
 
     let ledger = dist.ledger();
+    let cost = dist.network().costs();
+    assert_eq!(
+        cost.messages_delivered,
+        ledger.delivered(),
+        "operation-cost delivery counter diverged from the ledger"
+    );
     let report = campaign.report();
     GraphStressRecord {
         waves: report.waves,
@@ -357,6 +455,14 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         degree_bound,
         stretch,
         stretch_bound,
+        stretch_mode: if cfg.stretch_mode == "full" {
+            String::from("full")
+        } else {
+            String::from("incremental")
+        },
+        stretch_modes_agree: true,
+        cost,
+        stretch_cost,
         balanced: true,
         within_bounds: true,
         converged: true,
@@ -381,6 +487,7 @@ mod tests {
                 seed: 3,
                 stretch_sources: 8,
                 threads: 1,
+                stretch_mode: "both".into(),
             };
             let rec = run_graph_stress(&cfg);
             assert_eq!(rec.insertions + rec.deletions, 80, "{planner}");
@@ -389,6 +496,10 @@ mod tests {
             assert!(rec.joins > 0, "join notices on the books");
             assert_eq!(rec.total_messages, rec.delivered + rec.notices + rec.joins);
             assert!(rec.stretch.max_stretch >= 1.0);
+            assert!(rec.stretch_modes_agree, "{planner} oracle agreement");
+            assert_eq!(rec.cost.messages_delivered, rec.delivered);
+            assert_eq!(rec.cost.messages_sent, rec.sent);
+            assert!(!rec.stretch_cost.is_zero(), "stretch work was charged");
         }
     }
 
@@ -407,6 +518,7 @@ mod tests {
             seed: 17,
             stretch_sources: 8,
             threads: 1,
+            stretch_mode: "both".into(),
         };
         let rec1 = run_graph_stress(&base);
         let rec4 = run_graph_stress(&GraphStressConfig {
@@ -436,6 +548,11 @@ mod tests {
         assert_eq!(rec1.max_per_node_total, rec4.max_per_node_total);
         assert_eq!(rec1.max_degree_increase, rec4.max_degree_increase);
         assert_eq!(rec1.stretch, rec4.stretch, "stretch pass bit-identical");
+        assert_eq!(rec1.cost, rec4.cost, "engine costs bit-identical");
+        assert_eq!(
+            rec1.stretch_cost, rec4.stretch_cost,
+            "stretch costs bit-identical"
+        );
     }
 
     #[test]
@@ -450,6 +567,7 @@ mod tests {
             seed: 2,
             stretch_sources: 4,
             threads: 2,
+            stretch_mode: "incremental".into(),
         });
         let json = rec.to_json();
         assert!(json.starts_with("{\n"));
@@ -461,6 +579,10 @@ mod tests {
         assert!(json.contains("\"converged\": true"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"wall_ms\""));
-        assert_eq!(json.matches(':').count(), 37, "37 fields");
+        assert!(json.contains("\"stretch_mode\": \"incremental\""));
+        assert!(json.contains("\"stretch_modes_agree\": true"));
+        assert!(json.contains("\"cost_messages_delivered\""));
+        assert!(json.contains("\"stretch_node_visits\""));
+        assert_eq!(json.matches(':').count(), 49, "49 fields");
     }
 }

@@ -15,6 +15,7 @@ pub mod runner;
 pub mod stats;
 pub mod stress;
 pub mod stretch;
+pub mod stretch_inc;
 pub mod table;
 pub mod workload;
 
@@ -22,6 +23,9 @@ pub use graph_stress::{run_graph_stress, GraphStressConfig, GraphStressRecord};
 pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
 pub use stats::{log_log_slope, Summary};
 pub use stress::{run_stress, StressConfig, StressRecord};
-pub use stretch::{measure_stretch, measure_stretch_mt, StretchReport};
+pub use stretch::{
+    measure_stretch, measure_stretch_full, measure_stretch_mt, select_sources, StretchReport,
+};
+pub use stretch_inc::StretchTracker;
 pub use table::Table;
 pub use workload::Workload;

@@ -13,6 +13,7 @@
 
 use ft_adversary::{make_wave_planner, AdversaryView};
 use ft_core::distributed::DistributedForgivingTree;
+use ft_costs::OperationCost;
 use ft_graph::tree::RootedTree;
 use ft_graph::{gen, NodeId};
 use ft_sim::{Campaign, CampaignConfig, HealCadence};
@@ -99,6 +100,10 @@ pub struct StressRecord {
     pub notices: u64,
     /// Ledger: deliveries + notices.
     pub total_messages: u64,
+    /// Engine-side operation cost of the whole campaign (accumulated by
+    /// the round engine; `cost.messages_delivered` reconciles with the
+    /// ledger's delivered book by construction).
+    pub cost: OperationCost,
     /// Whether both ledger identities held at the end (always true when
     /// `run_stress` returns — it panics otherwise).
     pub balanced: bool,
@@ -137,6 +142,12 @@ impl StressRecord {
                 "  \"dropped\": {},\n",
                 "  \"notices\": {},\n",
                 "  \"total_messages\": {},\n",
+                "  \"cost_messages_sent\": {},\n",
+                "  \"cost_messages_delivered\": {},\n",
+                "  \"cost_node_visits\": {},\n",
+                "  \"cost_edge_scans\": {},\n",
+                "  \"cost_heap_bytes\": {},\n",
+                "  \"cost_seeks\": {},\n",
                 "  \"balanced\": {},\n",
                 "  \"converged\": {}\n",
                 "}}\n"
@@ -163,6 +174,12 @@ impl StressRecord {
             self.dropped,
             self.notices,
             self.total_messages,
+            self.cost.messages_sent,
+            self.cost.messages_delivered,
+            self.cost.node_visits,
+            self.cost.edge_scans,
+            self.cost.heap_bytes,
+            self.cost.seeks,
             self.balanced,
             self.converged,
         )
@@ -242,6 +259,12 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         "healer lost connectivity during the stress campaign"
     );
     let ledger = dist.ledger();
+    let cost = dist.network().costs();
+    assert_eq!(
+        cost.messages_delivered,
+        ledger.delivered(),
+        "operation-cost delivery counter diverged from the ledger"
+    );
     let report = campaign.report();
     StressRecord {
         waves: report.waves,
@@ -260,6 +283,7 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         dropped: ledger.dropped(),
         notices: ledger.notices(),
         total_messages: ledger.total_messages(),
+        cost,
         balanced: true,
         converged: true,
         config: cfg.clone(),
@@ -289,6 +313,9 @@ mod tests {
             assert_eq!(rec.live_remaining, 240);
             assert_eq!(rec.total_messages, rec.delivered + rec.notices);
             assert!(rec.peak_per_node_load > 0);
+            assert_eq!(rec.cost.messages_delivered, rec.delivered);
+            assert_eq!(rec.cost.messages_sent, rec.sent);
+            assert!(rec.cost.node_visits > 0 && rec.cost.seeks > 0);
         }
     }
 
@@ -327,6 +354,7 @@ mod tests {
             )
         };
         assert_eq!(fingerprint(&rec1), fingerprint(&rec4));
+        assert_eq!(rec1.cost, rec4.cost, "engine costs bit-identical");
         assert_eq!(rec4.threads, 4);
     }
 
@@ -351,6 +379,8 @@ mod tests {
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"cadence\": \"per-deletion\""));
         assert!(json.contains("\"wall_ms\""));
-        assert_eq!(json.matches(':').count(), 25, "25 fields");
+        assert!(json.contains("\"cost_messages_delivered\""));
+        assert!(json.contains("\"cost_seeks\""));
+        assert_eq!(json.matches(':').count(), 31, "31 fields");
     }
 }

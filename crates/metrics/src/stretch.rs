@@ -6,10 +6,23 @@
 //! contains every insertion and no deletion (paths may route through since-
 //! deleted nodes — the strongest baseline).
 //!
-//! [`measure_stretch`] samples BFS sources among the surviving nodes and
-//! compares the two distance fields pairwise, so the cost is
+//! [`measure_stretch_full`] samples BFS sources among the surviving nodes
+//! and compares the two distance fields pairwise, so the cost is
 //! `O(sources · (V + E))` rather than all-pairs — at 10⁴ nodes a full
-//! campaign's stretch pass runs in milliseconds and scales to 10⁵⁺.
+//! campaign's stretch pass runs in milliseconds and scales to 10⁵⁺. For
+//! campaigns where even that re-sweep dominates, the incremental tracker in
+//! [`crate::stretch_inc`] maintains the same distance fields across churn
+//! and produces bit-identical figures; this module is its differential
+//! oracle.
+//!
+//! # Source sampling
+//!
+//! Sources are chosen by **min-wise priority sampling**: every node id gets
+//! a fixed pseudorandom priority from `(seed, id)` and the `k` live nodes
+//! with the smallest priorities form the sample ([`select_sources`]). The
+//! sample is a pure function of the seed and the live set — no RNG state,
+//! no draw order — so an incremental maintainer can reselect after churn
+//! and land on exactly the set a fresh full pass would pick.
 //!
 //! Pairs are counted **once**: when both endpoints of a surviving pair are
 //! sampled as sources, the pair is charged to its lower-ID endpoint only,
@@ -18,17 +31,17 @@
 //! pairs, silently inflating `pairs` and biasing `mean_stretch` toward
 //! whatever the source set happened to oversample).
 //!
-//! The pass is shardable: [`measure_stretch_mt`] splits the sampled sources
-//! across worker threads (each BFS is independent) and folds the per-source
-//! partial results **in sample order**, so every figure — including the
-//! floating-point `mean_stretch` accumulation — is bit-identical to the
+//! The pass is shardable: `threads > 1` splits the sampled sources across
+//! worker threads (each BFS is independent) and folds the per-source
+//! partial results **in sample order** (ascending source id), so every
+//! figure — including the floating-point `mean_stretch` accumulation and
+//! the [`OperationCost`] counters — is bit-identical to the
 //! single-threaded pass.
 
-use ft_graph::bfs::bfs_distances;
+use ft_costs::{count, CostResult, OperationCost};
+use ft_graph::bfs::DistanceMap;
 use ft_graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::collections::VecDeque;
 
 /// What a sampled stretch pass observed.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -48,23 +61,115 @@ pub struct StretchReport {
     pub disconnected_pairs: usize,
 }
 
-/// Everything one source's BFS pass contributes, folded in sample order so
-/// sharded and sequential passes accumulate identically.
+/// Everything one source's pair comparison contributes, folded in sample
+/// order so sharded and sequential passes accumulate identically.
 #[derive(Clone, Copy, Debug, Default)]
-struct SourcePass {
-    pairs: usize,
-    sum: f64,
-    max_stretch: f64,
-    max_healed_distance: u32,
-    disconnected: usize,
+pub(crate) struct SourcePass {
+    pub(crate) pairs: usize,
+    pub(crate) sum: f64,
+    pub(crate) max_stretch: f64,
+    pub(crate) max_healed_distance: u32,
+    pub(crate) disconnected: usize,
 }
 
-/// Runs one source's BFS pair comparison. Iterates survivors in ascending
-/// `NodeId` order (deterministic — never the hash-map iteration order of
-/// the distance field) and skips pairs owned by a lower-ID sampled source.
-fn source_pass(healed: &Graph, pristine: &Graph, src: NodeId, sampled: &[bool]) -> SourcePass {
-    let dh = bfs_distances(healed, src);
-    let dp = bfs_distances(pristine, src);
+/// Folds per-source passes (in sample order) into a [`StretchReport`].
+/// Shared by the full pass and the incremental tracker so the two score
+/// identically down to the floating-point accumulation order.
+pub(crate) fn fold_passes(sources: usize, passes: &[SourcePass]) -> StretchReport {
+    let mut report = StretchReport {
+        sources,
+        ..StretchReport::default()
+    };
+    let mut sum = 0.0f64;
+    for pass in passes {
+        report.pairs += pass.pairs;
+        sum += pass.sum;
+        if pass.max_stretch > report.max_stretch {
+            report.max_stretch = pass.max_stretch;
+        }
+        report.max_healed_distance = report.max_healed_distance.max(pass.max_healed_distance);
+        report.disconnected_pairs += pass.disconnected;
+    }
+    if report.pairs > 0 {
+        // ft-lint: allow(lossy-cast-in-accounting, "pairs < n^2 <= 2^53 at any experiment scale, so the usize->f64 conversion is exact")
+        report.mean_stretch = sum / report.pairs as f64;
+    }
+    report
+}
+
+/// SplitMix64 finalizer — the priority hash behind min-wise sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The fixed pseudorandom priority of node `v` under `seed`. Lower wins.
+pub(crate) fn priority(seed: u64, v: NodeId) -> u64 {
+    splitmix64(seed ^ u64::from(v.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The min-wise sample: the (up to) `k` live nodes of `g` with the
+/// smallest `(priority, id)` keys, returned in **ascending id order** (the
+/// canonical sample order every fold in this module uses). Deterministic
+/// and history-free: any two callers that agree on `(seed, k)` and the
+/// live set agree on the sample.
+pub fn select_sources(g: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut keyed: Vec<(u64, NodeId)> = g.nodes().map(|v| (priority(seed, v), v)).collect();
+    let k = k.max(1).min(keyed.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < keyed.len() {
+        keyed.select_nth_unstable(k - 1);
+        keyed.truncate(k);
+    }
+    let mut picked: Vec<NodeId> = keyed.into_iter().map(|(_, v)| v).collect();
+    picked.sort_unstable();
+    picked
+}
+
+/// BFS distances from `src`, charging the pass to `cost`: one node visit
+/// per settled node, one edge scan per adjacency entry examined.
+pub(crate) fn bfs_with_cost(g: &Graph, src: NodeId, cost: &mut OperationCost) -> DistanceMap {
+    let mut dist = DistanceMap::with_capacity(g.capacity());
+    if !g.is_alive(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist.assign(src, 0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        cost.node_visits += 1;
+        cost.edge_scans += count(g.degree(v));
+        let d = dist[v];
+        for u in g.neighbors(v) {
+            if !dist.contains(u) {
+                dist.assign(u, d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    cost.heap_bytes = cost
+        .heap_bytes
+        .saturating_add(count(g.capacity() * std::mem::size_of::<u32>()));
+    dist
+}
+
+/// Scores every surviving pair owned by `src` against the two distance
+/// fields. Iterates survivors in ascending `NodeId` order (deterministic —
+/// never a hash-map iteration order) and skips pairs owned by a lower-ID
+/// sampled source. Shared verbatim by the full pass and the incremental
+/// tracker — figure parity between the two reduces to distance-field
+/// parity.
+pub(crate) fn pair_pass(
+    dh: &DistanceMap,
+    dp: &DistanceMap,
+    healed: &Graph,
+    src: NodeId,
+    sampled: &[bool],
+) -> SourcePass {
     let mut pass = SourcePass::default();
     for v in healed.nodes() {
         if v == src {
@@ -95,44 +200,55 @@ fn source_pass(healed: &Graph, pristine: &Graph, src: NodeId, sampled: &[bool]) 
     pass
 }
 
-/// Samples up to `sources` BFS sources (seeded, reproducible) among the
-/// nodes alive in `healed` and measures the distance stretch of every
-/// surviving pair involving a sampled source, each unordered pair counted
-/// once. Equivalent to [`measure_stretch_mt`] with one thread.
+/// Marks the sampled sources in a dense flag array over the id space.
+pub(crate) fn sampled_flags(capacity: usize, picked: &[NodeId]) -> Vec<bool> {
+    let mut sampled = vec![false; capacity];
+    for &s in picked {
+        sampled[s.index()] = true;
+    }
+    sampled
+}
+
+/// One source's full pass: both BFS fields plus the pair comparison.
+fn source_pass(
+    healed: &Graph,
+    pristine: &Graph,
+    src: NodeId,
+    sampled: &[bool],
+) -> (SourcePass, OperationCost) {
+    let mut cost = OperationCost::ZERO;
+    let dh = bfs_with_cost(healed, src, &mut cost);
+    let dp = bfs_with_cost(pristine, src, &mut cost);
+    (pair_pass(&dh, &dp, healed, src, sampled), cost)
+}
+
+/// The full (from-scratch) stretch pass: min-wise samples up to `sources`
+/// BFS sources among the nodes alive in `healed` and measures the distance
+/// stretch of every surviving pair involving a sampled source, each
+/// unordered pair counted once. Returns the figures together with the
+/// [`OperationCost`] of the sweep (BFS settles as node visits, adjacency
+/// reads as edge scans, distance tables as heap bytes).
+///
+/// Results — figures *and* cost counters — are bit-identical for any
+/// `threads` value: each worker owns a contiguous run of the sampled
+/// sources and per-source partials are folded in sample order on the
+/// calling thread. This is the differential oracle the incremental
+/// tracker ([`crate::stretch_inc::StretchTracker`]) is checked against.
 ///
 /// Nodes alive in `healed` must exist in `pristine` (the engines guarantee
 /// this: insertions grow both graphs in lockstep).
-pub fn measure_stretch(
-    healed: &Graph,
-    pristine: &Graph,
-    sources: usize,
-    seed: u64,
-) -> StretchReport {
-    measure_stretch_mt(healed, pristine, sources, seed, 1)
-}
-
-/// [`measure_stretch`] with the BFS sources sharded across `threads`
-/// worker threads. Results are bit-identical for any thread count: each
-/// worker owns a contiguous run of the sampled sources and the per-source
-/// partials are folded in sample order on the calling thread.
-pub fn measure_stretch_mt(
+pub fn measure_stretch_full(
     healed: &Graph,
     pristine: &Graph,
     sources: usize,
     seed: u64,
     threads: usize,
-) -> StretchReport {
-    let mut survivors: Vec<NodeId> = healed.nodes().collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    survivors.shuffle(&mut rng);
-    let picked: Vec<NodeId> = survivors.iter().copied().take(sources.max(1)).collect();
-    let mut sampled = vec![false; healed.capacity()];
-    for &s in &picked {
-        sampled[s.index()] = true;
-    }
+) -> CostResult<StretchReport> {
+    let picked = select_sources(healed, sources, seed);
+    let sampled = sampled_flags(healed.capacity(), &picked);
 
     let threads = threads.max(1).min(picked.len().max(1));
-    let passes: Vec<SourcePass> = if threads <= 1 {
+    let passes: Vec<(SourcePass, OperationCost)> = if threads <= 1 {
         picked
             .iter()
             .map(|&src| source_pass(healed, pristine, src, &sampled))
@@ -163,25 +279,37 @@ pub fn measure_stretch_mt(
         })
     };
 
-    let mut report = StretchReport {
-        sources: picked.len(),
-        ..StretchReport::default()
-    };
-    let mut sum = 0.0f64;
-    for pass in &passes {
-        report.pairs += pass.pairs;
-        sum += pass.sum;
-        if pass.max_stretch > report.max_stretch {
-            report.max_stretch = pass.max_stretch;
-        }
-        report.max_healed_distance = report.max_healed_distance.max(pass.max_healed_distance);
-        report.disconnected_pairs += pass.disconnected;
-    }
-    if report.pairs > 0 {
-        // ft-lint: allow(lossy-cast-in-accounting, "pairs < n^2 <= 2^53 at any experiment scale, so the usize->f64 conversion is exact")
-        report.mean_stretch = sum / report.pairs as f64;
-    }
-    report
+    let mut cost = OperationCost::ZERO;
+    let folded: Vec<SourcePass> = passes
+        .iter()
+        .map(|&(p, c)| {
+            cost += c;
+            p
+        })
+        .collect();
+    (fold_passes(picked.len(), &folded), cost)
+}
+
+/// [`measure_stretch_full`] with one thread, figures only — the historical
+/// entry point most tests and experiments call.
+pub fn measure_stretch(
+    healed: &Graph,
+    pristine: &Graph,
+    sources: usize,
+    seed: u64,
+) -> StretchReport {
+    measure_stretch_full(healed, pristine, sources, seed, 1).0
+}
+
+/// [`measure_stretch_full`], figures only (compat wrapper).
+pub fn measure_stretch_mt(
+    healed: &Graph,
+    pristine: &Graph,
+    sources: usize,
+    seed: u64,
+    threads: usize,
+) -> StretchReport {
+    measure_stretch_full(healed, pristine, sources, seed, threads).0
 }
 
 #[cfg(test)]
@@ -254,6 +382,42 @@ mod tests {
     }
 
     #[test]
+    fn min_wise_sample_is_a_pure_function_of_seed_and_live_set() {
+        let g = gen::kary_tree(100, 3);
+        let a = select_sources(&g, 10, 5);
+        let b = select_sources(&g, 10, 5);
+        assert_eq!(a, b, "deterministic");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending id order");
+        assert_ne!(a, select_sources(&g, 10, 6), "seed matters");
+        // deleting an unsampled node leaves the sample untouched;
+        // deleting a sampled node promotes exactly one replacement
+        let mut g2 = g.clone();
+        let unsampled = g2.nodes().find(|v| !a.contains(v)).expect("one exists");
+        g2.delete_node(unsampled);
+        assert_eq!(select_sources(&g2, 10, 5), a);
+        let mut g3 = g.clone();
+        g3.delete_node(a[0]);
+        let c = select_sources(&g3, 10, 5);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.iter().filter(|v| a.contains(v)).count(), 9);
+    }
+
+    #[test]
+    fn full_pass_charges_costs() {
+        let g = gen::kary_tree(50, 2);
+        let (r, cost) = measure_stretch_full(&g, &g, 4, 1, 1);
+        assert!(r.pairs > 0);
+        assert_eq!(
+            cost.node_visits,
+            2 * 4 * 50,
+            "each of 4 sources settles all 50 nodes in both graphs"
+        );
+        assert!(cost.edge_scans > 0);
+        assert!(cost.heap_bytes > 0);
+        assert_eq!(cost.messages_sent, 0, "measurement sends nothing");
+    }
+
+    #[test]
     fn sharded_pass_is_bit_identical_to_sequential() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
@@ -279,10 +443,11 @@ mod tests {
                 }
             }
         }
-        let seq = measure_stretch_mt(&healed, &pristine, 24, 5, 1);
+        let (seq, seq_cost) = measure_stretch_full(&healed, &pristine, 24, 5, 1);
         for threads in [2, 3, 4, 7] {
-            let par = measure_stretch_mt(&healed, &pristine, 24, 5, threads);
+            let (par, par_cost) = measure_stretch_full(&healed, &pristine, 24, 5, threads);
             assert_eq!(seq, par, "threads={threads} diverged");
+            assert_eq!(seq_cost, par_cost, "threads={threads} cost diverged");
         }
         assert!(seq.pairs > 0);
     }

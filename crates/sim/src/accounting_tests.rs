@@ -114,7 +114,7 @@ fn run_trace(
         let mut guard = 0;
         while net.has_pending() {
             let r = net.round();
-            per_round.push((r, net.step()));
+            per_round.push((r, net.step().0));
             guard += 1;
             assert!(guard < 300, "gossip failed to quiesce");
         }

@@ -115,7 +115,7 @@ pub fn distributed_bfs_tree(graph: &Graph, root: NodeId) -> BfsOutcome {
         children: Vec::new(),
     });
     net.start();
-    let (rounds, _) = net.run_until_quiet(graph.len() as u32 + 4);
+    let ((rounds, _), _) = net.run_until_quiet(graph.len() as u32 + 4);
     let mut pairs = Vec::new();
     for v in net.nodes().collect::<Vec<_>>() {
         let p = net.process(v);

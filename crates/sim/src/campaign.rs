@@ -22,6 +22,7 @@
 //! can always be audited with [`Network::check_accounting`].
 
 use crate::network::{Network, Process, RoundStats};
+use ft_costs::OperationCost;
 use ft_graph::{ChurnEvent, NodeId};
 
 /// When recovery rounds run relative to a wave's deletions.
@@ -83,6 +84,10 @@ pub struct WaveStats {
     /// a truncated heal is *not* convergence and must not be mistaken for
     /// one.
     pub converged: bool,
+    /// Exact [`OperationCost`] of the wave: every churn event and every
+    /// recovery round, measured as a snapshot delta of the network's
+    /// cumulative counter. Byte-identical across thread counts.
+    pub cost: OperationCost,
 }
 
 impl WaveStats {
@@ -120,6 +125,9 @@ pub struct CampaignReport {
     /// `true` iff **every** heal phase of every wave reached quiescence
     /// within its round budget. Stress harnesses fail on `false`.
     pub converged: bool,
+    /// Sum of every wave's [`WaveStats::cost`] — the campaign's exact
+    /// operation-count bill, diffable against committed baselines.
+    pub cost: OperationCost,
 }
 
 impl Default for CampaignReport {
@@ -136,6 +144,7 @@ impl Default for CampaignReport {
             edges_removed: 0,
             // vacuously true until a wave says otherwise
             converged: true,
+            cost: OperationCost::ZERO,
         }
     }
 }
@@ -195,7 +204,7 @@ impl Campaign {
         P: Process + Send,
         P::Msg: Send,
     {
-        let (rounds, merged, converged) =
+        let ((rounds, merged, converged), _) =
             net.run_until_quiet_capped_mt(self.cfg.max_rounds_per_heal);
         ws.absorb(&merged, rounds);
         ws.converged &= converged;
@@ -215,6 +224,7 @@ impl Campaign {
         P::Msg: Send,
     {
         net.set_threads(self.cfg.threads);
+        let cost0 = net.costs();
         let mut ws = WaveStats {
             wave: self.report.waves,
             converged: true,
@@ -238,6 +248,8 @@ impl Campaign {
                 self.heal(net, &mut ws);
             }
         }
+        // snapshot delta: covers the deletions themselves, not just heals
+        ws.cost = net.costs() - cost0;
         self.absorb_wave(&ws);
         ws
     }
@@ -265,6 +277,7 @@ impl Campaign {
         P::Msg: Send,
     {
         net.set_threads(self.cfg.threads);
+        let cost0 = net.costs();
         let mut ws = WaveStats {
             wave: self.report.waves,
             converged: true,
@@ -306,6 +319,8 @@ impl Campaign {
                 self.heal(net, &mut ws);
             }
         }
+        // snapshot delta: covers the churn events themselves, not just heals
+        ws.cost = net.costs() - cost0;
         self.absorb_wave(&ws);
         ws
     }
@@ -321,6 +336,7 @@ impl Campaign {
         self.report.edges_added += ws.edges_added;
         self.report.edges_removed += ws.edges_removed;
         self.report.converged &= ws.converged;
+        self.report.cost += ws.cost;
     }
 }
 
@@ -428,5 +444,11 @@ mod tests {
         assert_eq!((r.waves, r.deletions), (2, 3));
         assert_eq!(r.messages, net.ledger().total_messages());
         assert!(r.rounds >= 3, "at least one round per deletion");
+        assert_eq!(
+            r.cost,
+            net.costs(),
+            "wave snapshots tile the network's whole cost history"
+        );
+        assert_eq!(r.cost.messages_delivered, net.ledger().delivered());
     }
 }

@@ -71,13 +71,16 @@
 
 pub mod bfs;
 pub mod campaign;
+pub mod hotset;
 pub mod ledger;
 pub mod network;
 pub mod pool;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, HealCadence, WaveStats};
+pub use ft_costs::{CostResult, OperationCost};
+pub use hotset::HotSet;
 pub use ledger::MsgLedger;
-pub use network::{Ctx, InFlightPolicy, Network, Process, RoundStats, SlotPolicy};
+pub use network::{ChurnJournal, Ctx, InFlightPolicy, Network, Process, RoundStats, SlotPolicy};
 pub use pool::WorkerPool;
 
 #[cfg(test)]

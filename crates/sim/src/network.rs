@@ -49,8 +49,10 @@
 //! work), which is safe precisely because both paths produce identical
 //! results.
 
+use crate::hotset::HotSet;
 use crate::ledger::MsgLedger;
 use crate::pool::WorkerPool;
+use ft_costs::{CostResult, OperationCost};
 use ft_graph::{Graph, NodeId};
 
 /// A node-local protocol endpoint.
@@ -187,13 +189,13 @@ pub struct Network<P: Process> {
     graph: Graph,
     /// Mail awaiting delivery, indexed by addressee; buffers are reused.
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
-    /// Addressees with (possibly) non-empty inboxes. Invariant: every
-    /// non-empty inbox's owner is listed here at least once; a slot can be
-    /// listed twice when it died (stale entry) and was revived and
-    /// remailed before the next step, so steps dedup after sorting.
-    hot: Vec<NodeId>,
-    /// Spare buffer `hot` is swapped with each round (keeps capacity).
-    hot_spare: Vec<NodeId>,
+    /// Addressees with non-empty inboxes — a dense bitset reused across
+    /// rounds. Invariant: exactly the owners of non-empty inboxes are
+    /// members (deletion purges remove the victim's bit), and draining it
+    /// yields the canonical ascending delivery order with no sort.
+    hot: HotSet,
+    /// Reusable buffer [`HotSet::drain_into`] fills each round.
+    hot_scratch: Vec<NodeId>,
     /// Staging buffer for the current round's sends.
     outbox: Vec<(NodeId, NodeId, P::Msg)>,
     edge_adds: Vec<(NodeId, NodeId)>,
@@ -209,6 +211,13 @@ pub struct Network<P: Process> {
     policy: InFlightPolicy,
     slots: SlotPolicy,
     ledger: MsgLedger,
+    /// Cumulative [`OperationCost`] of every engine operation since
+    /// construction. The costed entry points ([`Network::step`] and
+    /// friends) return per-call deltas as snapshots of this counter;
+    /// charging happens only in shared code paths (`finish_round`, the
+    /// canonical delivery replay), so the totals are byte-identical across
+    /// thread counts.
+    costs: OperationCost,
     /// Worker count for [`Network::step_mt`] (1 = sequential).
     threads: usize,
     /// Minimum queued messages before a round is sharded (default
@@ -219,6 +228,45 @@ pub struct Network<P: Process> {
     pool: Option<WorkerPool>,
     /// Per-worker scratch shards; buffers are reused between rounds.
     shards: Vec<Shard<P::Msg>>,
+    /// Arena of retired inbox buffers: a deleted node's (emptied) inbox
+    /// vector parks here and the next grown slot draws from it, so churn
+    /// campaigns recycle payload capacity instead of leaking it on dead
+    /// slots and reallocating for newcomers.
+    buf_pool: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Reusable neighbor buffer for [`Graph::delete_node_into`].
+    nbr_scratch: Vec<NodeId>,
+    /// Topology-churn journal; recorded only while `journal_on` is set.
+    journal: ChurnJournal,
+    /// Whether churn events are journaled (off by default — the journal
+    /// grows without bound until drained, so only consumers that replay
+    /// churn, like the incremental stretch tracker, switch it on).
+    journal_on: bool,
+}
+
+/// A replayable log of one span of topology churn: every deletion,
+/// insertion, and applied edge change since the journal was last drained,
+/// in application order. Incremental measurement passes (the stretch
+/// tracker) consume this instead of re-scanning the whole graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnJournal {
+    /// Deleted nodes with the neighbors each had at deletion time.
+    pub deleted: Vec<(NodeId, Vec<NodeId>)>,
+    /// Inserted nodes with the live anchors each was wired to.
+    pub inserted: Vec<(NodeId, Vec<NodeId>)>,
+    /// Healer edges actually inserted (requests that changed the graph).
+    pub edges_added: Vec<(NodeId, NodeId)>,
+    /// Healer edges actually removed (requests that changed the graph).
+    pub edges_removed: Vec<(NodeId, NodeId)>,
+}
+
+impl ChurnJournal {
+    /// True when the span recorded no churn at all.
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty()
+            && self.inserted.is_empty()
+            && self.edges_added.is_empty()
+            && self.edges_removed.is_empty()
+    }
 }
 
 /// Minimum queued messages for a round to be worth parallel dispatch.
@@ -343,8 +391,8 @@ impl<P: Process> Network<P> {
             procs,
             graph,
             inboxes,
-            hot: Vec::new(),
-            hot_spare: Vec::new(),
+            hot: HotSet::with_capacity(cap),
+            hot_scratch: Vec::new(),
             outbox: Vec::new(),
             edge_adds: Vec::new(),
             edge_drops: Vec::new(),
@@ -356,10 +404,15 @@ impl<P: Process> Network<P> {
             policy,
             slots: SlotPolicy::default(),
             ledger: MsgLedger::new(cap),
+            costs: OperationCost::ZERO,
             threads: 1,
             par_min_pending: PAR_MIN_PENDING,
             pool: None,
             shards: Vec::new(),
+            buf_pool: Vec::new(),
+            nbr_scratch: Vec::new(),
+            journal: ChurnJournal::default(),
+            journal_on: false,
         }
     }
 
@@ -457,6 +510,32 @@ impl<P: Process> Network<P> {
         &self.ledger
     }
 
+    /// The cumulative [`OperationCost`] of every engine operation since
+    /// construction. Snapshot before and after a sequence of operations and
+    /// subtract to get its exact cost (the costed entry points do exactly
+    /// that for single calls).
+    pub fn costs(&self) -> OperationCost {
+        self.costs
+    }
+
+    /// Switches churn journaling on or off (off by default). While on,
+    /// every deletion, insertion, and applied edge change is appended to
+    /// the [`ChurnJournal`] until [`Network::drain_churn_journal`] empties
+    /// it — consumers must drain regularly or the journal grows without
+    /// bound.
+    pub fn set_churn_journal(&mut self, on: bool) {
+        self.journal_on = on;
+        if !on {
+            self.journal = ChurnJournal::default();
+        }
+    }
+
+    /// Takes the churn recorded since the last drain (empty when journaling
+    /// is off), leaving an empty journal behind.
+    pub fn drain_churn_journal(&mut self) -> ChurnJournal {
+        std::mem::take(&mut self.journal)
+    }
+
     /// Total messages delivered since construction (notices included).
     pub fn total_messages(&self) -> usize {
         self.ledger.total_messages() as usize
@@ -473,14 +552,35 @@ impl<P: Process> Network<P> {
         self.pending > 0
     }
 
-    /// Verifies the ledger identities against the live queue state; see
-    /// [`MsgLedger::check`].
+    /// Verifies the ledger identities against the live queue state (see
+    /// [`MsgLedger::check`]) **and** the cost/ledger reconciliation: the
+    /// [`OperationCost`] message counters are charged from the same
+    /// canonical quantities as the ledger books, so
+    /// `costs.messages_sent == ledger.sent()` and
+    /// `costs.messages_delivered == ledger.delivered()` must hold exactly.
     pub fn check_accounting(&self) -> Result<(), String> {
-        self.ledger.check(self.pending as u64)
+        self.ledger.check(self.pending as u64)?;
+        if self.costs.messages_sent != self.ledger.sent() {
+            return Err(format!(
+                "cost/ledger split: cost messages_sent {} != ledger sent {}",
+                self.costs.messages_sent,
+                self.ledger.sent()
+            ));
+        }
+        if self.costs.messages_delivered != self.ledger.delivered() {
+            return Err(format!(
+                "cost/ledger split: cost messages_delivered {} != ledger delivered {}",
+                self.costs.messages_delivered,
+                self.ledger.delivered()
+            ));
+        }
+        Ok(())
     }
 
     /// Runs `on_start` on every process and applies side effects (round 0).
     pub fn start(&mut self) -> RoundStats {
+        // every live process is activated once
+        self.costs.node_visits += self.live as u64;
         {
             let Network {
                 procs,
@@ -508,7 +608,7 @@ impl<P: Process> Network<P> {
 
     /// Unsends `v`'s queued outbound mail: every still-undelivered message
     /// `v` sent is removed from its addressee's inbox and accounted as
-    /// dropped. Every non-empty inbox is on the hot list, so this touches
+    /// dropped. Every non-empty inbox is in the hot set, so this touches
     /// only addressees with pending mail. Used by both
     /// [`InFlightPolicy::Drop`] deletions and slot revival under
     /// [`SlotPolicy::Reuse`].
@@ -518,15 +618,29 @@ impl<P: Process> Network<P> {
             hot,
             pending,
             ledger,
+            costs,
             ..
         } = self;
-        for &d in hot.iter() {
+        // one random-access probe per hot inbox scanned for the victim's mail
+        costs.seeks += hot.len() as u64;
+        let mut emptied: Option<Vec<NodeId>> = None;
+        for d in hot.iter() {
             let inbox = &mut inboxes[d.index()];
             let before = inbox.len();
             inbox.retain(|(from, _)| *from != v);
             let removed = before - inbox.len();
             *pending -= removed;
             ledger.record_dropped(removed as u64);
+            if removed > 0 && inbox.is_empty() {
+                emptied.get_or_insert_with(Vec::new).push(d);
+            }
+        }
+        // An inbox holding only the victim's mail is empty now; its owner
+        // leaves the hot set (membership tracks non-emptiness exactly).
+        if let Some(emptied) = emptied {
+            for d in emptied {
+                hot.remove(d);
+            }
         }
     }
 
@@ -542,12 +656,27 @@ impl<P: Process> Network<P> {
             self.procs.get(v.index()).is_some_and(|p| p.is_some()),
             "{v:?} already dead"
         );
-        let neighbors = self.graph.delete_node(v);
+        let mut neighbors = std::mem::take(&mut self.nbr_scratch);
+        self.graph.delete_node_into(v, &mut neighbors);
         self.procs[v.index()] = None;
         self.live -= 1;
-        // Mail addressed to the dead node is lost with it.
-        let purged = self.inboxes[v.index()].len();
-        self.inboxes[v.index()].clear();
+        // the victim's inbox purge is one random-access probe; each
+        // surviving neighbor's deletion-notice callback is one activation
+        self.costs.seeks += 1;
+        self.costs.node_visits += neighbors.len() as u64;
+        if self.journal_on {
+            self.journal.deleted.push((v, neighbors.clone()));
+        }
+        // Mail addressed to the dead node is lost with it; the emptied
+        // buffer parks in the arena for the next inserted slot, and the
+        // victim leaves the hot set (its inbox is empty now).
+        let mut purged_buf = std::mem::take(&mut self.inboxes[v.index()]);
+        let purged = purged_buf.len();
+        purged_buf.clear();
+        if purged_buf.capacity() > 0 {
+            self.buf_pool.push(purged_buf);
+        }
+        self.hot.remove(v);
         self.pending -= purged;
         self.ledger.record_dropped(purged as u64);
         if self.policy == InFlightPolicy::Drop {
@@ -584,6 +713,9 @@ impl<P: Process> Network<P> {
                     .on_neighbor_deleted(v, &mut ctx);
             }
         }
+        // hand the (capacity-retaining) neighbor buffer back to the scratch
+        neighbors.clear();
+        self.nbr_scratch = neighbors;
         self.finish_round(delivered)
     }
 
@@ -634,15 +766,22 @@ impl<P: Process> Network<P> {
                 let slot = self.graph.add_node();
                 debug_assert_eq!(slot.index(), self.procs.len());
                 self.procs.push(None);
-                self.inboxes.push(Vec::new());
+                // recycle a retired inbox buffer when the arena has one
+                self.inboxes.push(self.buf_pool.pop().unwrap_or_default());
                 self.round_load.push(0);
                 self.ledger.grow(self.graph.capacity());
+                self.hot.grow(self.graph.capacity());
                 slot
             }
         };
         debug_assert!(self.inboxes[v.index()].is_empty());
         self.procs[v.index()] = Some(make(v));
         self.live += 1;
+        // the newcomer's on_start plus one join-notice callback per anchor
+        self.costs.node_visits += 1 + neighbors.len() as u64;
+        if self.journal_on {
+            self.journal.inserted.push((v, neighbors.to_vec()));
+        }
         for &u in neighbors {
             self.graph.add_edge(v, u);
         }
@@ -694,19 +833,21 @@ impl<P: Process> Network<P> {
     }
 
     /// Delivers all queued messages (one synchronous round), processing
-    /// addressees in the canonical ascending-[`NodeId`] order.
-    pub fn step(&mut self) -> RoundStats {
-        let mut hot = std::mem::take(&mut self.hot_spare);
+    /// addressees in the canonical ascending-[`NodeId`] order. Returns the
+    /// round's stats together with its exact [`OperationCost`].
+    pub fn step(&mut self) -> CostResult<RoundStats> {
+        let before = self.costs;
+        let mut hot = std::mem::take(&mut self.hot_scratch);
         debug_assert!(hot.is_empty());
-        std::mem::swap(&mut self.hot, &mut hot);
-        hot.sort_unstable();
-        // A slot deleted (stale hot entry) then revived and remailed in the
-        // same round is listed twice; collapse to the canonical unique list.
-        hot.dedup();
+        // the bitset drain IS the canonical ascending order — no sort
+        self.hot.drain_into(&mut hot);
+        // one inbox probe per hot addressee
+        self.costs.seeks += hot.len() as u64;
         let delivered = self.deliver_seq(&hot);
         hot.clear();
-        self.hot_spare = hot;
-        self.finish_round(delivered)
+        self.hot_scratch = hot;
+        let stats = self.finish_round(delivered);
+        (stats, self.costs - before)
     }
 
     /// Sequentially drains the inboxes of the (sorted) `hot` addressees,
@@ -724,6 +865,7 @@ impl<P: Process> Network<P> {
             touched,
             pending,
             ledger,
+            costs,
             ..
         } = self;
         for &to in hot {
@@ -745,8 +887,11 @@ impl<P: Process> Network<P> {
                     mail.clear();
                 }
                 Some(p) => {
+                    // one live addressee activated (however much mail it has)
+                    costs.node_visits += 1;
                     for (from, msg) in mail.drain(..) {
                         delivered += 1;
+                        costs.messages_delivered += 1;
                         ledger.record_delivery(from, to);
                         bump_load(round_load, touched, from);
                         bump_load(round_load, touched, to);
@@ -776,13 +921,13 @@ impl<P: Process> Network<P> {
     /// that chatters forever is a bug). Use
     /// [`Network::run_until_quiet_capped`] to observe truncation instead of
     /// panicking.
-    pub fn run_until_quiet(&mut self, max_rounds: u32) -> (u32, RoundStats) {
-        let (rounds, merged, converged) = self.run_until_quiet_capped(max_rounds);
+    pub fn run_until_quiet(&mut self, max_rounds: u32) -> CostResult<(u32, RoundStats)> {
+        let ((rounds, merged, converged), cost) = self.run_until_quiet_capped(max_rounds);
         assert!(
             converged,
             "protocol did not quiesce within {max_rounds} rounds"
         );
-        (rounds, merged)
+        ((rounds, merged), cost)
     }
 
     /// Steps until quiescence or until `max_rounds` rounds have run,
@@ -790,15 +935,19 @@ impl<P: Process> Network<P> {
     /// statistics, and `converged`: `true` iff no mail is pending — a
     /// `false` makes a truncated heal distinguishable from a finished one
     /// (the round budget ran out with messages still in flight).
-    pub fn run_until_quiet_capped(&mut self, max_rounds: u32) -> (u32, RoundStats, bool) {
+    pub fn run_until_quiet_capped(
+        &mut self,
+        max_rounds: u32,
+    ) -> CostResult<(u32, RoundStats, bool)> {
+        let before = self.costs;
         let mut rounds = 0;
         let mut merged = RoundStats::default();
         while self.has_pending() && rounds < max_rounds {
-            let s = self.step();
+            let (s, _) = self.step();
             rounds += 1;
             merged.merge(&s);
         }
-        (rounds, merged, !self.has_pending())
+        ((rounds, merged, !self.has_pending()), self.costs - before)
     }
 
     /// Closes a round: routes the outbox into next round's inboxes, applies
@@ -809,6 +958,14 @@ impl<P: Process> Network<P> {
             messages: delivered,
             ..RoundStats::default()
         };
+        // Charge the round's canonical quantities before the buffers drain.
+        // These are the same figures the ledger and stats books see, and
+        // they are computed on the calling thread from merged state, so the
+        // totals cannot depend on how the round was sharded.
+        self.costs.messages_sent += self.outbox.len() as u64;
+        self.costs.heap_bytes +=
+            (self.outbox.len() * std::mem::size_of::<(NodeId, NodeId, P::Msg)>()) as u64;
+        self.costs.edge_scans += (self.edge_drops.len() + self.edge_adds.len()) as u64;
         {
             let Network {
                 procs,
@@ -824,11 +981,8 @@ impl<P: Process> Network<P> {
                 // ft-lint: allow(panic-in-engine, "guarded: to.index() < procs.len() is checked on this line")
                 if to.index() < procs.len() && procs[to.index()].is_some() {
                     // ft-lint: allow(panic-in-engine, "same guard as the line above; inboxes.len() == procs.len()")
-                    let inbox = &mut inboxes[to.index()];
-                    if inbox.is_empty() {
-                        hot.push(to);
-                    }
-                    inbox.push((from, msg));
+                    inboxes[to.index()].push((from, msg));
+                    hot.insert(to); // idempotent bit-set
                     *pending += 1;
                 } else {
                     // addressee is dead at send time; dropped on the floor
@@ -843,17 +997,25 @@ impl<P: Process> Network<P> {
                 graph,
                 edge_adds,
                 edge_drops,
+                journal,
+                journal_on,
                 ..
             } = self;
             for (a, b) in edge_drops.drain(..) {
                 if graph.remove_edge(a, b) {
                     stats.edges_removed += 1;
+                    if *journal_on {
+                        journal.edges_removed.push((a, b));
+                    }
                 }
             }
             for (a, b) in edge_adds.drain(..) {
                 if a != b && graph.is_alive(a) && graph.is_alive(b) && !graph.has_edge(a, b) {
                     graph.add_edge(a, b);
                     stats.edges_added += 1;
+                    if *journal_on {
+                        journal.edges_added.push((a, b));
+                    }
                 }
             }
         }
@@ -887,13 +1049,15 @@ where
     /// Delivers all queued messages (one synchronous round), sharding the
     /// work across [`Network::threads`] workers when the round is heavy
     /// enough ([`PAR_MIN_PENDING`]). Byte-identical to [`Network::step`]:
-    /// same ledger, same stats, same outbox order, same graph.
-    pub fn step_mt(&mut self) -> RoundStats {
-        let mut hot = std::mem::take(&mut self.hot_spare);
+    /// same ledger, same stats, same outbox order, same graph, same cost.
+    pub fn step_mt(&mut self) -> CostResult<RoundStats> {
+        let before = self.costs;
+        let mut hot = std::mem::take(&mut self.hot_scratch);
         debug_assert!(hot.is_empty());
-        std::mem::swap(&mut self.hot, &mut hot);
-        hot.sort_unstable();
-        hot.dedup(); // see `step`: revival can double-list a slot
+        // the bitset drain IS the canonical ascending order — no sort
+        self.hot.drain_into(&mut hot);
+        // one inbox probe per hot addressee, exactly as in `step`
+        self.costs.seeks += hot.len() as u64;
         let delivered = if self.threads > 1 && self.pending >= self.par_min_pending && hot.len() > 1
         {
             self.deliver_par(&hot)
@@ -901,21 +1065,26 @@ where
             self.deliver_seq(&hot)
         };
         hot.clear();
-        self.hot_spare = hot;
-        self.finish_round(delivered)
+        self.hot_scratch = hot;
+        let stats = self.finish_round(delivered);
+        (stats, self.costs - before)
     }
 
     /// [`Network::run_until_quiet_capped`] over [`Network::step_mt`]:
     /// sharded rounds, truncation surfaced as `converged = false`.
-    pub fn run_until_quiet_capped_mt(&mut self, max_rounds: u32) -> (u32, RoundStats, bool) {
+    pub fn run_until_quiet_capped_mt(
+        &mut self,
+        max_rounds: u32,
+    ) -> CostResult<(u32, RoundStats, bool)> {
+        let before = self.costs;
         let mut rounds = 0;
         let mut merged = RoundStats::default();
         while self.has_pending() && rounds < max_rounds {
-            let s = self.step_mt();
+            let (s, _) = self.step_mt();
             rounds += 1;
             merged.merge(&s);
         }
-        (rounds, merged, !self.has_pending())
+        ((rounds, merged, !self.has_pending()), self.costs - before)
     }
 
     /// Drains the sorted `hot` list with one contiguous shard per worker,
@@ -990,8 +1159,17 @@ where
             touched,
             pending,
             ledger,
+            costs,
             ..
         } = self;
+        // The replay below is the sequential engine's exact delivery
+        // sequence, so addressee activations can be recovered from it: a
+        // live addressee's deliveries are consecutive (per-inbox drain) and
+        // addressees ascend across shard boundaries, so counting
+        // `to`-transitions equals deliver_seq's one-visit-per-live-addressee
+        // charge. Dead-addressee (stale) mail produces no deliveries and no
+        // visit in either path.
+        let mut last_to: Option<NodeId> = None;
         // ft-lint: allow(panic-in-engine, "same shard sizing as the delivery loop: shards.len() >= nshards")
         for shard in shards[..nshards].iter_mut() {
             *pending -= shard.freed;
@@ -1001,7 +1179,12 @@ where
                 shard.stale = 0;
             }
             delivered += shard.deliveries.len();
+            costs.messages_delivered += shard.deliveries.len() as u64;
             for &(from, to) in &shard.deliveries {
+                if last_to != Some(to) {
+                    costs.node_visits += 1;
+                    last_to = Some(to);
+                }
                 ledger.record_delivery(from, to);
                 bump_load(round_load, touched, from);
                 bump_load(round_load, touched, to);
@@ -1067,9 +1250,15 @@ mod tests {
         let g = gen::path(6);
         let mut net = flood_net(g, NodeId(0));
         net.start();
-        let (rounds, stats) = net.run_until_quiet(100);
+        let ((rounds, stats), cost) = net.run_until_quiet(100);
         assert_eq!(rounds, 6, "5 hops + 1 final echo round");
         assert!(stats.messages > 0);
+        assert_eq!(
+            cost.messages_delivered,
+            net.ledger().delivered(),
+            "the whole run's cost delta covers every delivery"
+        );
+        assert!(cost.node_visits > 0 && cost.seeks > 0 && cost.heap_bytes > 0);
         for v in net.nodes().collect::<Vec<_>>() {
             assert!(net.process(v).seen, "{v:?} not reached");
         }
@@ -1138,7 +1327,7 @@ mod tests {
         let g = gen::cycle(8);
         let mut net = flood_net(g, NodeId(0));
         net.start();
-        let (rounds, _) = net.run_until_quiet(50);
+        let ((rounds, _), _) = net.run_until_quiet(50);
         // ecc of a node in C8 is 4; one extra echo round
         assert_eq!(rounds, 5);
     }
@@ -1319,8 +1508,9 @@ mod tests {
         while par.has_pending() {
             rounds_par.push(par.step_mt());
         }
-        assert_eq!(rounds_seq, rounds_par, "per-round stats diverged");
+        assert_eq!(rounds_seq, rounds_par, "per-round stats/costs diverged");
         assert_eq!(seq.ledger(), par.ledger(), "ledger books diverged");
+        assert_eq!(seq.costs(), par.costs(), "cumulative costs diverged");
         for v in seq.nodes() {
             assert_eq!(seq.process(v).seen, par.process(v).seen);
         }

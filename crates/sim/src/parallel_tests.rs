@@ -237,12 +237,13 @@ fn capped_runner_reports_convergence_when_quiet() {
     let g = gen::path(4);
     let mut net = chatter_net(g);
     net.delete_node(NodeId(1));
-    let (rounds, _, converged) = net.run_until_quiet_capped(64);
+    let ((rounds, _, converged), _) = net.run_until_quiet_capped(64);
     assert!(converged);
     assert!(rounds > 0);
-    let (rounds, stats, converged) = net.run_until_quiet_capped(64);
+    let ((rounds, stats, converged), cost) = net.run_until_quiet_capped(64);
     assert!(converged, "vacuously converged when nothing is pending");
     assert_eq!((rounds, stats.messages), (0, 0));
+    assert!(cost.is_zero(), "a no-op run charges nothing");
 }
 
 /// The reused slot's fresh incarnation starts with clean books even when

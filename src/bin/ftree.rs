@@ -5,19 +5,24 @@
 //!               --healer forgiving-tree --fraction 0.75 [--dot] [--csv]
 //! ftree scaling --healer line --adversary diameter-greedy
 //! ftree duel    --workload star:128
-//! ftree stress  --nodes 100000 --deletions 1000 --wave 50 \
+//! ftree stress  --nodes 100k --deletions 1000 --wave 50 \
 //!               --planner heavy-tail --seed 42 --threads 4 \
 //!               --out BENCH_sim.json
-//! ftree stress  --model graph --nodes 10000 --events 2000 --wave 50 \
+//! ftree stress  --model graph --nodes 1m --events 2000 --wave 50 \
 //!               --planner mixed --insert-frac 0.4 --seed 42 \
-//!               --threads 4 --out BENCH_graph.json
+//!               --stretch incremental --threads 4 --out BENCH_graph.json
+//! ftree costs   [--out BENCH_costs.json]
 //! ftree lint    [--root DIR] [--format human|json]
 //! ftree help
 //! ```
 //!
 //! Workload syntax: `path:N`, `star:N`, `kary<K>:N`, `caterpillar:SxL`,
 //! `broom:H+B`, `random:N#SEED`, `pref:N#SEED`.
+//!
+//! Every numeric stress flag accepts scaled forms: `100k`, `1m`, `1e6`,
+//! and decimal mantissas like `2.5m` all parse to the obvious integer.
 
+use forgiving_tree::costs::OperationCost;
 use forgiving_tree::metrics::{
     log_log_slope, run_graph_stress, run_stress, run_trial, GraphStressConfig, StressConfig, Table,
     TrialConfig, Workload,
@@ -31,12 +36,14 @@ fn usage() -> ! {
          ftree scaling --healer H --adversary A\n  \
          ftree duel    --workload W\n  \
          ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--cadence per-deletion|per-wave] [--seed S] [--threads T] [--out FILE]\n  \
-         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--threads T] [--out FILE]\n  \
+         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--stretch full|incremental|both] [--threads T] [--out FILE]\n  \
+         ftree costs   [--out FILE]\n  \
          ftree lint    [--root DIR] [--format human|json]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
          healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
-         planners  : random targeted heavy-tail (tree stress) | mixed surge (graph stress)"
+         planners  : random targeted heavy-tail (tree stress) | mixed surge (graph stress)\n\
+         numbers   : stress counts accept scaled forms (100k, 1m, 1e6, 2.5m)"
     );
     exit(2);
 }
@@ -108,6 +115,33 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(|s| s.as_str())
+}
+
+/// Parses a count with optional scale: `1000`, `100k`, `1m`, `2.5m`, `1e6`.
+///
+/// Plain integers take the fast exact path; the suffixed and exponent forms
+/// go through f64 (the presets they exist for — 10⁵, 10⁶ — are far below
+/// the 2⁵³ limit where that would lose precision). Returns `None` for
+/// negatives, NaN/inf, and anything that is not a number.
+fn parse_scaled(s: &str) -> Option<usize> {
+    let t = s.trim();
+    if let Ok(v) = t.parse::<usize>() {
+        return Some(v);
+    }
+    let approx = |v: f64| -> Option<usize> {
+        (v.is_finite() && v >= 0.0 && v <= 2f64.powi(53)).then(|| v.round() as usize)
+    };
+    if let Some(stripped) = t.strip_suffix(['k', 'K']) {
+        return approx(stripped.parse::<f64>().ok()? * 1e3);
+    }
+    if let Some(stripped) = t.strip_suffix(['m', 'M']) {
+        return approx(stripped.parse::<f64>().ok()? * 1e6);
+    }
+    // `1e6` / `2E5`: f64 syntax already covers the exponent form.
+    if t.contains(['e', 'E']) {
+        return approx(t.parse::<f64>().ok()?);
+    }
+    None
 }
 
 fn cmd_attack(args: &[String]) {
@@ -233,7 +267,7 @@ fn cmd_stress(args: &[String]) {
 fn cmd_stress_tree(args: &[String]) {
     let num = |flag: &str, default: usize| -> usize {
         flag_value(args, flag)
-            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .map(|s| parse_scaled(s).unwrap_or_else(|| usage()))
             .unwrap_or(default)
     };
     let defaults = StressConfig::default();
@@ -276,7 +310,7 @@ fn cmd_stress_tree(args: &[String]) {
 fn cmd_stress_graph(args: &[String]) {
     let num = |flag: &str, default: usize| -> usize {
         flag_value(args, flag)
-            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .map(|s| parse_scaled(s).unwrap_or_else(|| usage()))
             .unwrap_or(default)
     };
     // validate range here: the planners clamp silently, and the emitted
@@ -297,6 +331,11 @@ fn cmd_stress_graph(args: &[String]) {
         eprintln!("unknown churn planner: {planner}");
         usage();
     }
+    let stretch_mode = flag_value(args, "--stretch").unwrap_or("incremental");
+    if !matches!(stretch_mode, "full" | "incremental" | "both") {
+        eprintln!("unknown stretch mode: {stretch_mode} (full | incremental | both)");
+        usage();
+    }
     let cfg = GraphStressConfig {
         nodes: num("--nodes", defaults.nodes),
         events: num("--events", defaults.events),
@@ -307,6 +346,7 @@ fn cmd_stress_graph(args: &[String]) {
         seed: num("--seed", defaults.seed as usize) as u64,
         stretch_sources: num("--sources", defaults.stretch_sources),
         threads: num("--threads", defaults.threads).max(1),
+        stretch_mode: stretch_mode.into(),
     };
     // run_graph_stress panics (non-zero exit) on ledger imbalance, stale
     // wills, lost connectivity, or an O(log n) bound violation — exactly
@@ -327,8 +367,105 @@ fn cmd_stress_graph(args: &[String]) {
         rec.max_degree_increase,
         rec.degree_bound
     );
+    println!(
+        "  stretch engine: {} ({:.1} ms){}",
+        rec.stretch_mode,
+        rec.stretch_wall_ms,
+        // run_graph_stress panics on divergence, so reaching this line in
+        // `both` mode IS the agreement certificate — say so explicitly.
+        if cfg.stretch_mode == "both" && rec.stretch_modes_agree {
+            " | full and incremental figures agree"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  cost: visits {} scans {} heap {} B | stretch visits {} scans {} heap {} B seeks {}",
+        rec.cost.node_visits,
+        rec.cost.edge_scans,
+        rec.cost.heap_bytes,
+        rec.stretch_cost.node_visits,
+        rec.stretch_cost.edge_scans,
+        rec.stretch_cost.heap_bytes,
+        rec.stretch_cost.seeks
+    );
     let out = flag_value(args, "--out").unwrap_or("BENCH_graph.json");
     std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}");
+}
+
+/// Appends one JSON line per [`OperationCost`] counter, keyed
+/// `<prefix>_<counter>`, each line comma-terminated.
+fn push_cost_fields(out: &mut String, prefix: &str, c: &OperationCost) {
+    use std::fmt::Write;
+    for (key, v) in [
+        ("messages_sent", c.messages_sent),
+        ("messages_delivered", c.messages_delivered),
+        ("node_visits", c.node_visits),
+        ("edge_scans", c.edge_scans),
+        ("heap_bytes", c.heap_bytes),
+        ("seeks", c.seeks),
+    ] {
+        let _ = writeln!(out, "  \"{prefix}_{key}\": {v},");
+    }
+}
+
+fn cmd_costs(args: &[String]) {
+    // The two CI smoke campaigns, pinned: the exact shapes the workflow's
+    // stress steps run, at threads=1 with incremental stretch. The emitted
+    // record carries counters only — no timing or throughput fields — so
+    // the committed baseline is byte-stable across machines and a plain
+    // `diff` in CI catches any cost-model drift.
+    let tree = run_stress(&StressConfig {
+        nodes: 2000,
+        deletions: 400,
+        wave_size: 25,
+        planner: "heavy-tail".into(),
+        seed: 1,
+        threads: 1,
+        ..StressConfig::default()
+    });
+    let graph = run_graph_stress(&GraphStressConfig {
+        nodes: 2000,
+        events: 400,
+        wave_size: 25,
+        insert_fraction: 0.4,
+        planner: "mixed".into(),
+        seed: 1,
+        threads: 1,
+        stretch_mode: "incremental".into(),
+        ..GraphStressConfig::default()
+    });
+    let mut json = String::from("{\n  \"bench\": \"costs\",\n");
+    json.push_str(&format!("  \"tree_rounds\": {},\n", tree.rounds));
+    push_cost_fields(&mut json, "tree", &tree.cost);
+    json.push_str(&format!("  \"graph_rounds\": {},\n", graph.rounds));
+    push_cost_fields(&mut json, "graph", &graph.cost);
+    push_cost_fields(&mut json, "graph_stretch", &graph.stretch_cost);
+    json.push_str("  \"schema\": 1\n}\n");
+    println!(
+        "tree  smoke: rounds {} | sent {} delivered {} | visits {} scans {}",
+        tree.rounds,
+        tree.cost.messages_sent,
+        tree.cost.messages_delivered,
+        tree.cost.node_visits,
+        tree.cost.edge_scans
+    );
+    println!(
+        "graph smoke: rounds {} | sent {} delivered {} | visits {} scans {} | stretch visits {} seeks {}",
+        graph.rounds,
+        graph.cost.messages_sent,
+        graph.cost.messages_delivered,
+        graph.cost.node_visits,
+        graph.cost.edge_scans,
+        graph.stretch_cost.node_visits,
+        graph.stretch_cost.seeks
+    );
+    let out = flag_value(args, "--out").unwrap_or("BENCH_costs.json");
+    std::fs::write(out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     });
@@ -342,6 +479,7 @@ fn main() {
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("duel") => cmd_duel(&args[1..]),
         Some("stress") => cmd_stress(&args[1..]),
+        Some("costs") => cmd_costs(&args[1..]),
         Some("lint") => exit(forgiving_tree::lint::run_cli(&args[1..])),
         _ => usage(),
     }

@@ -68,6 +68,7 @@
 pub use ft_adversary as adversary;
 pub use ft_baselines as baselines;
 pub use ft_core as core;
+pub use ft_costs as costs;
 pub use ft_graph as graph;
 pub use ft_lint as lint;
 pub use ft_metrics as metrics;
@@ -90,12 +91,13 @@ pub mod prelude {
         fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph, ForgivingGraph,
         ForgivingTree, Haft, HealReport, HealStats, RoleKind,
     };
+    pub use ft_costs::{CostResult, OperationCost};
     pub use ft_graph::tree::RootedTree;
     pub use ft_graph::{gen, ChurnEvent, Graph, NodeId};
     pub use ft_metrics::{
-        measure_stretch, run_graph_stress, run_stress, run_trial, GraphStressConfig,
-        GraphStressRecord, StressConfig, StressRecord, StretchReport, Table, Trial, TrialConfig,
-        Workload,
+        measure_stretch, measure_stretch_full, run_graph_stress, run_stress, run_trial,
+        select_sources, GraphStressConfig, GraphStressRecord, StressConfig, StressRecord,
+        StretchReport, StretchTracker, Table, Trial, TrialConfig, Workload,
     };
     pub use ft_sim::bfs::distributed_bfs_tree;
     pub use ft_sim::{
