@@ -48,6 +48,7 @@ fn main() {
             seed: 42,
             threads: 1,
             cadence: cadence.clone(),
+            faults: "none".into(),
         };
         let rec = run_stress(&cfg);
         println!("{}", rec.summary());
@@ -65,6 +66,7 @@ fn main() {
         seed: 42,
         threads: 1,
         cadence,
+        faults: "none".into(),
     };
     let rec_1t = run_stress(&reference);
     let rec_nt = run_stress(&StressConfig {

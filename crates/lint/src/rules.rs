@@ -172,26 +172,35 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
             &["crates/core/src", "crates/sim/src", "crates/graph/src"],
         ),
         // Everything except the measurement crates (ft-metrics, ft-bench),
-        // which legitimately time campaigns.
-        "wall-clock-in-protocol" | "unseeded-rng" => in_any(
-            &p,
-            &[
-                "crates/core/src",
-                "crates/sim/src",
-                "crates/graph/src",
-                "crates/adversary/src",
-                "crates/baselines/src",
-                "src/",
-            ],
-        ),
+        // which legitimately time campaigns — plus the fault-survival
+        // matrix, which despite living in ft-metrics must replay
+        // byte-identically and so may neither read clocks nor roll
+        // unseeded dice.
+        "wall-clock-in-protocol" | "unseeded-rng" => {
+            p == "crates/metrics/src/fault_matrix.rs"
+                || in_any(
+                    &p,
+                    &[
+                        "crates/core/src",
+                        "crates/sim/src",
+                        "crates/graph/src",
+                        "crates/adversary/src",
+                        "crates/baselines/src",
+                        "src/",
+                    ],
+                )
+        }
         // The accounting arithmetic sites whose identities the theorems
         // and the cost-model baselines cite: the message ledger, the whole
-        // operation-cost crate, and both stretch engines (full sweep and
-        // incremental tracker).
+        // operation-cost crate, both stretch engines (full sweep and
+        // incremental tracker), and the fault axis (threshold compilation
+        // in the plan, bound re-derivation in the survival matrix).
         "lossy-cast-in-accounting" => {
             p == "crates/sim/src/ledger.rs"
+                || p == "crates/sim/src/faults.rs"
                 || p == "crates/metrics/src/stretch.rs"
                 || p == "crates/metrics/src/stretch_inc.rs"
+                || p == "crates/metrics/src/fault_matrix.rs"
                 || in_any(&p, &["crates/costs/src"])
         }
         // The round engine's hot paths (function scope applied separately).

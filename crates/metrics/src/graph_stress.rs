@@ -13,14 +13,22 @@
 //! books do not balance, a will audit fails, connectivity is lost, or
 //! either O(log n) bound is exceeded, so it doubles as the end-to-end
 //! acceptance check in CI.
+//!
+//! `GraphStressConfig::faults` arms a named deterministic fault model
+//! ([`ft_sim::FaultConfig`]) on the campaign. Faulty runs still replay
+//! byte-identically at any thread count and keep the accounting panics
+//! armed, but the convergence/will/connectivity/bound panics relax into
+//! recorded booleans — under an adversary that loses mail and crashes
+//! nodes mid-heal, those are the measurements the fault matrix collects.
 
+use crate::stress::FAULT_SEED_SALT;
 use crate::stretch::{measure_stretch_full, StretchReport};
 use crate::stretch_inc::StretchTracker;
 use ft_adversary::{make_churn_planner, AdversaryView};
 use ft_core::{fg_degree_bound, fg_stretch_bound, DistributedForgivingGraph};
 use ft_costs::OperationCost;
 use ft_graph::gen;
-use ft_sim::{Campaign, CampaignConfig};
+use ft_sim::{Campaign, CampaignConfig, FaultConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -53,6 +61,13 @@ pub struct GraphStressConfig {
     /// `both` (run both and panic unless every figure agrees — the
     /// differential-oracle mode CI exercises).
     pub stretch_mode: String,
+    /// Named fault model ([`FaultConfig::from_name`]): `none` (default),
+    /// `delay`, `loss`, `dup`, `crash`, `partition`, `chaos`, or
+    /// `+`-joined combinations. Any model other than `none` relaxes the
+    /// convergence/connectivity/will/bound panics into recorded booleans —
+    /// under faults those are measurements, not contract violations —
+    /// while the ledger-balance and cost-reconciliation panics stay armed.
+    pub faults: String,
 }
 
 impl Default for GraphStressConfig {
@@ -68,6 +83,7 @@ impl Default for GraphStressConfig {
             stretch_sources: 16,
             threads: 1,
             stretch_mode: String::from("incremental"),
+            faults: String::from("none"),
         }
     }
 }
@@ -140,12 +156,30 @@ pub struct GraphStressRecord {
     pub stretch_cost: OperationCost,
     /// Whether the ledger identities held (always true on return).
     pub balanced: bool,
-    /// Whether degree and stretch stayed within the O(log n) bounds
-    /// (always true on return — violations panic).
+    /// Whether degree and stretch stayed within the O(log n) bounds and
+    /// every sampled pair was reachable (always true on return when
+    /// `faults == "none"` — violations panic the fault-free harness).
     pub within_bounds: bool,
     /// Whether every heal phase reached quiescence within its round budget
-    /// (always true on return — a truncated heal panics the harness).
+    /// (always true on return when `faults == "none"`).
     pub converged: bool,
+    /// Whether the will audit passed (always true when `faults == "none"`;
+    /// crash-stops can strand heirs mid-heal).
+    pub wills_ok: bool,
+    /// Ledger: messages destroyed on the wire (loss + partition cuts).
+    pub lost: u64,
+    /// Ledger: surplus copies minted by duplication.
+    pub duplicated: u64,
+    /// Ledger: messages that took at least one extra round in the delay
+    /// queue.
+    pub delayed: u64,
+    /// Deletions the fault plan escalated to crash-stops.
+    pub crashes: u64,
+    /// FNV-1a fingerprint of the realized fault schedule.
+    pub fault_fingerprint: u64,
+    /// Whether the healed graph was still connected at the end (always
+    /// true when `faults == "none"`).
+    pub connected: bool,
 }
 
 impl GraphStressRecord {
@@ -203,7 +237,15 @@ impl GraphStressRecord {
                 "  \"stretch_seeks\": {},\n",
                 "  \"balanced\": {},\n",
                 "  \"within_bounds\": {},\n",
-                "  \"converged\": {}\n",
+                "  \"converged\": {},\n",
+                "  \"faults\": \"{}\",\n",
+                "  \"wills_ok\": {},\n",
+                "  \"lost\": {},\n",
+                "  \"duplicated\": {},\n",
+                "  \"delayed\": {},\n",
+                "  \"crashes\": {},\n",
+                "  \"fault_fingerprint\": {},\n",
+                "  \"connected\": {}\n",
                 "}}\n"
             ),
             self.config.nodes,
@@ -254,6 +296,14 @@ impl GraphStressRecord {
             self.balanced,
             self.within_bounds,
             self.converged,
+            self.config.faults,
+            self.wills_ok,
+            self.lost,
+            self.duplicated,
+            self.delayed,
+            self.crashes,
+            self.fault_fingerprint,
+            self.connected,
         )
     }
 
@@ -301,10 +351,13 @@ fn initial_graph(cfg: &GraphStressConfig, rng: &mut StdRng) -> ft_graph::Graph {
 /// Runs the graph-model stress campaign described by `cfg`.
 ///
 /// # Panics
-/// Panics on an unknown planner name, a heal that fails to quiesce within
-/// its round budget (non-convergence), a message-ledger imbalance, a failed
-/// will audit, lost connectivity, or an O(log n) bound violation — a
-/// non-zero exit is the CI failure signal.
+/// Panics on an unknown planner/fault-model name or a message-ledger
+/// imbalance. When `faults == "none"` it additionally panics on a heal
+/// that fails to quiesce within its round budget (non-convergence), a
+/// failed will audit, lost connectivity, or an O(log n) bound violation —
+/// a non-zero exit is the CI failure signal. Under any other fault model
+/// those outcomes become the recorded `converged` / `wills_ok` /
+/// `connected` / `within_bounds` booleans.
 pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     assert!(
         matches!(cfg.stretch_mode.as_str(), "full" | "incremental" | "both"),
@@ -314,6 +367,13 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let g = initial_graph(cfg, &mut rng);
     let mut dist = DistributedForgivingGraph::new(&g);
+    let fault_cfg = FaultConfig::from_name(&cfg.faults)
+        .unwrap_or_else(|| panic!("unknown fault model: {}", cfg.faults));
+    let faulty = !fault_cfg.is_zero();
+    if faulty {
+        dist.network_mut()
+            .set_fault_plan(Some(fault_cfg.plan(cfg.seed ^ FAULT_SEED_SALT)));
+    }
     let mut planner = make_churn_planner(&cfg.planner, cfg.seed, cfg.insert_fraction)
         .unwrap_or_else(|| panic!("unknown churn planner: {}", cfg.planner));
     let mut campaign = Campaign::new(CampaignConfig {
@@ -364,16 +424,20 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
     dist.network()
         .check_accounting()
         .expect("message ledger imbalance after graph stress campaign");
-    assert!(
-        campaign.report().converged,
-        "a heal phase was truncated by the round budget (non-convergence)"
-    );
-    dist.check_wills()
-        .expect("stale wills after graph stress campaign");
-    assert!(
-        dist.graph().is_connected(),
-        "healer lost connectivity during the campaign"
-    );
+    let converged = campaign.report().converged;
+    let wills = dist.check_wills();
+    let connected = dist.graph().is_connected();
+    if !faulty {
+        assert!(
+            converged,
+            "a heal phase was truncated by the round budget (non-convergence)"
+        );
+        wills
+            .as_ref()
+            .expect("stale wills after graph stress campaign");
+        assert!(connected, "healer lost connectivity during the campaign");
+    }
+    let wills_ok = wills.is_ok();
 
     let capacity = dist.graph().capacity();
     let degree_bound = fg_degree_bound(capacity);
@@ -390,6 +454,7 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         );
         (report, cost, t0.elapsed().as_secs_f64())
     };
+    let mut stretch_modes_agree = true;
     let (stretch, stretch_cost, stretch_wall_ms) = match (&tracker, cfg.stretch_mode.as_str()) {
         (None, _) => {
             let (report, cost, secs) = full_pass();
@@ -401,27 +466,33 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
             stretch_wall += t0.elapsed().as_secs_f64();
             if mode == "both" {
                 let (oracle, _, _) = full_pass();
-                assert_eq!(
-                    report, oracle,
+                stretch_modes_agree = report == oracle;
+                assert!(
+                    stretch_modes_agree || faulty,
                     "incremental stretch diverged from the full-sweep oracle"
                 );
             }
             (report, t.cost(), stretch_wall * 1e3)
         }
     };
-    assert_eq!(
-        stretch.disconnected_pairs, 0,
-        "surviving pair unreachable in the healed graph"
-    );
-    assert!(
-        max_degree_increase <= degree_bound,
-        "degree increase {max_degree_increase} exceeds the O(log n) bound {degree_bound}"
-    );
-    assert!(
-        stretch.max_stretch <= stretch_bound,
-        "stretch {} exceeds the O(log n) bound {stretch_bound}",
-        stretch.max_stretch
-    );
+    let within_bounds = stretch.disconnected_pairs == 0
+        && max_degree_increase <= degree_bound
+        && stretch.max_stretch <= stretch_bound;
+    if !faulty {
+        assert_eq!(
+            stretch.disconnected_pairs, 0,
+            "surviving pair unreachable in the healed graph"
+        );
+        assert!(
+            max_degree_increase <= degree_bound,
+            "degree increase {max_degree_increase} exceeds the O(log n) bound {degree_bound}"
+        );
+        assert!(
+            stretch.max_stretch <= stretch_bound,
+            "stretch {} exceeds the O(log n) bound {stretch_bound}",
+            stretch.max_stretch
+        );
+    }
 
     let ledger = dist.ledger();
     let cost = dist.network().costs();
@@ -460,12 +531,19 @@ pub fn run_graph_stress(cfg: &GraphStressConfig) -> GraphStressRecord {
         } else {
             String::from("incremental")
         },
-        stretch_modes_agree: true,
+        stretch_modes_agree,
         cost,
         stretch_cost,
         balanced: true,
-        within_bounds: true,
-        converged: true,
+        within_bounds,
+        converged,
+        wills_ok,
+        lost: ledger.lost(),
+        duplicated: ledger.duplicated(),
+        delayed: ledger.delayed(),
+        crashes: dist.network().crashes(),
+        fault_fingerprint: dist.network().fault_fingerprint(),
+        connected,
         config: cfg.clone(),
     }
 }
@@ -488,6 +566,7 @@ mod tests {
                 stretch_sources: 8,
                 threads: 1,
                 stretch_mode: "both".into(),
+                faults: "none".into(),
             };
             let rec = run_graph_stress(&cfg);
             assert_eq!(rec.insertions + rec.deletions, 80, "{planner}");
@@ -519,6 +598,7 @@ mod tests {
             stretch_sources: 8,
             threads: 1,
             stretch_mode: "both".into(),
+            faults: "none".into(),
         };
         let rec1 = run_graph_stress(&base);
         let rec4 = run_graph_stress(&GraphStressConfig {
@@ -568,6 +648,7 @@ mod tests {
             stretch_sources: 4,
             threads: 2,
             stretch_mode: "incremental".into(),
+            faults: "none".into(),
         });
         let json = rec.to_json();
         assert!(json.starts_with("{\n"));
@@ -583,6 +664,50 @@ mod tests {
         assert!(json.contains("\"stretch_modes_agree\": true"));
         assert!(json.contains("\"cost_messages_delivered\""));
         assert!(json.contains("\"stretch_node_visits\""));
-        assert_eq!(json.matches(':').count(), 49, "49 fields");
+        assert!(json.contains("\"faults\": \"none\""));
+        assert!(json.contains("\"wills_ok\": true"));
+        assert!(json.contains("\"connected\": true"));
+        assert_eq!(json.matches(':').count(), 57, "57 fields");
+    }
+
+    /// Faulty churn campaigns keep the books balanced, replay identically
+    /// at any thread count, and report (rather than panic on) whatever the
+    /// faults did to convergence, wills, connectivity, and the bounds.
+    #[test]
+    fn faulty_graph_campaign_balances_and_replays() {
+        let base = GraphStressConfig {
+            nodes: 250,
+            events: 80,
+            wave_size: 8,
+            insert_fraction: 0.4,
+            extra_edges: 0.2,
+            planner: "mixed".into(),
+            seed: 23,
+            stretch_sources: 8,
+            threads: 1,
+            stretch_mode: "incremental".into(),
+            faults: "chaos".into(),
+        };
+        let rec1 = run_graph_stress(&base);
+        let rec2 = run_graph_stress(&GraphStressConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        assert!(
+            rec1.lost + rec1.duplicated + rec1.delayed + rec1.crashes > 0,
+            "the chaos model must realize at least one fault"
+        );
+        let fp = |r: &GraphStressRecord| {
+            (
+                (r.waves, r.insertions, r.deletions, r.rounds),
+                (r.sent, r.delivered, r.dropped, r.notices, r.joins),
+                (r.lost, r.duplicated, r.delayed, r.crashes),
+                r.fault_fingerprint,
+                (r.converged, r.wills_ok, r.connected, r.within_bounds),
+            )
+        };
+        assert_eq!(fp(&rec1), fp(&rec2), "faulty record thread-invariant");
+        assert_eq!(rec1.cost, rec2.cost, "faulty engine costs bit-identical");
+        assert_eq!(rec1.stretch, rec2.stretch, "stretch pass bit-identical");
     }
 }

@@ -9,7 +9,13 @@
 //! Forgiving Graph campaigns ([`graph_stress`], `BENCH_graph.json`) — and
 //! the sampled-pair stretch pass that scores healed networks against their
 //! pristine baseline ([`stretch`]).
+//!
+//! The fault axis rides the same harnesses: both stress configs take a
+//! named fault model, and [`fault_matrix`] sweeps every protocol × model
+//! combination into the bounds-survival record behind `ftree faults`
+//! (`BENCH_faults.json`).
 
+pub mod fault_matrix;
 pub mod graph_stress;
 pub mod runner;
 pub mod stats;
@@ -19,6 +25,7 @@ pub mod stretch_inc;
 pub mod table;
 pub mod workload;
 
+pub use fault_matrix::{run_fault_matrix, FaultCell, FaultMatrixConfig, FaultMatrixRecord};
 pub use graph_stress::{run_graph_stress, GraphStressConfig, GraphStressRecord};
 pub use runner::{run_trial, StepMetrics, Trial, TrialConfig, TrialSummary};
 pub use stats::{log_log_slope, Summary};

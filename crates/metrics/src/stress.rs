@@ -10,14 +10,25 @@
 //! ledger — and `run_stress` panics if the books do not balance or any
 //! heal fails to quiesce, so it doubles as an end-to-end accounting check
 //! in CI.
+//!
+//! `StressConfig::faults` arms a named deterministic fault model
+//! ([`ft_sim::FaultConfig`]) on the same campaign: loss, duplication,
+//! delay, partitions, and crash-stop deaths, all a pure function of the
+//! seed, so faulty runs replay byte-identically at any thread count. Under
+//! faults the convergence/connectivity panics relax into recorded
+//! booleans; the accounting panics never relax.
 
 use ft_adversary::{make_wave_planner, AdversaryView};
 use ft_core::distributed::DistributedForgivingTree;
 use ft_costs::OperationCost;
 use ft_graph::tree::RootedTree;
 use ft_graph::{gen, NodeId};
-use ft_sim::{Campaign, CampaignConfig, HealCadence};
+use ft_sim::{Campaign, CampaignConfig, FaultConfig, HealCadence};
 use std::time::Instant;
+
+/// Salt xor-ed into the campaign seed to derive the fault-plan seed, so the
+/// wave planner and the fault schedule draw from decoupled streams.
+pub(crate) const FAULT_SEED_SALT: u64 = 0xFA17_5EED;
 
 /// Stress-campaign parameters.
 #[derive(Clone, Debug)]
@@ -46,6 +57,13 @@ pub struct StressConfig {
     /// harness then reports by panicking — that failure is the honest
     /// measurement of an out-of-contract adversary.
     pub cadence: String,
+    /// Named fault model ([`FaultConfig::from_name`]): `none` (default),
+    /// `delay`, `loss`, `dup`, `crash`, `partition`, `chaos`, or
+    /// `+`-joined combinations. Any model other than `none` relaxes the
+    /// convergence/connectivity panics into recorded booleans — under
+    /// faults those are measurements, not contract violations — while the
+    /// ledger-balance and cost-reconciliation panics stay armed.
+    pub faults: String,
 }
 
 impl Default for StressConfig {
@@ -59,6 +77,7 @@ impl Default for StressConfig {
             seed: 42,
             threads: 1,
             cadence: String::from("per-deletion"),
+            faults: String::from("none"),
         }
     }
 }
@@ -108,8 +127,24 @@ pub struct StressRecord {
     /// `run_stress` returns — it panics otherwise).
     pub balanced: bool,
     /// Whether every heal phase reached quiescence within its round budget
-    /// (always true on return — a truncated heal panics `run_stress`).
+    /// (always true on return when `faults == "none"` — a truncated heal
+    /// panics the fault-free harness; under faults it is a measurement).
     pub converged: bool,
+    /// Ledger: messages destroyed on the wire (loss + partition cuts).
+    pub lost: u64,
+    /// Ledger: surplus copies minted by duplication.
+    pub duplicated: u64,
+    /// Ledger: messages that took at least one extra round in the delay
+    /// queue (observability book; delayed mail still delivers or drops).
+    pub delayed: u64,
+    /// Deletions the fault plan escalated to crash-stops.
+    pub crashes: u64,
+    /// FNV-1a fingerprint of the realized fault schedule (the basis value
+    /// when no fault fired).
+    pub fault_fingerprint: u64,
+    /// Whether the healed graph was still connected at the end (always
+    /// true when `faults == "none"` — disconnection panics there).
+    pub connected: bool,
 }
 
 impl StressRecord {
@@ -149,7 +184,14 @@ impl StressRecord {
                 "  \"cost_heap_bytes\": {},\n",
                 "  \"cost_seeks\": {},\n",
                 "  \"balanced\": {},\n",
-                "  \"converged\": {}\n",
+                "  \"converged\": {},\n",
+                "  \"faults\": \"{}\",\n",
+                "  \"lost\": {},\n",
+                "  \"duplicated\": {},\n",
+                "  \"delayed\": {},\n",
+                "  \"crashes\": {},\n",
+                "  \"fault_fingerprint\": {},\n",
+                "  \"connected\": {}\n",
                 "}}\n"
             ),
             self.config.nodes,
@@ -182,6 +224,13 @@ impl StressRecord {
             self.cost.seeks,
             self.balanced,
             self.converged,
+            self.config.faults,
+            self.lost,
+            self.duplicated,
+            self.delayed,
+            self.crashes,
+            self.fault_fingerprint,
+            self.connected,
         )
     }
 
@@ -208,9 +257,11 @@ impl StressRecord {
 /// Runs the stress campaign described by `cfg`.
 ///
 /// # Panics
-/// Panics on an unknown planner name, a heal that fails to quiesce within
-/// its round budget (`converged = false` in the campaign report), or a
+/// Panics on an unknown planner/cadence/fault-model name or a
 /// message-ledger imbalance — a non-zero exit is the CI failure signal.
+/// When `faults == "none"` a truncated heal or a disconnected result also
+/// panics; under any other fault model those become the recorded
+/// `converged` / `connected` booleans.
 pub fn run_stress(cfg: &StressConfig) -> StressRecord {
     let g = gen::kary_tree(cfg.nodes, cfg.arity.max(2));
     let tree = RootedTree::from_tree_graph(&g, NodeId(0));
@@ -222,6 +273,13 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         "per-wave" => HealCadence::PerWave,
         other => panic!("unknown heal cadence: {other} (per-deletion | per-wave)"),
     };
+    let fault_cfg = FaultConfig::from_name(&cfg.faults)
+        .unwrap_or_else(|| panic!("unknown fault model: {}", cfg.faults));
+    let faulty = !fault_cfg.is_zero();
+    if faulty {
+        dist.network_mut()
+            .set_fault_plan(Some(fault_cfg.plan(cfg.seed ^ FAULT_SEED_SALT)));
+    }
     let mut campaign = Campaign::new(CampaignConfig {
         threads: cfg.threads.max(1),
         cadence,
@@ -250,14 +308,18 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
     dist.network()
         .check_accounting()
         .expect("message ledger imbalance after stress campaign");
-    assert!(
-        campaign.report().converged,
-        "a heal phase was truncated by the round budget (non-convergence)"
-    );
-    assert!(
-        dist.graph().is_connected(),
-        "healer lost connectivity during the stress campaign"
-    );
+    let converged = campaign.report().converged;
+    let connected = dist.graph().is_connected();
+    if !faulty {
+        assert!(
+            converged,
+            "a heal phase was truncated by the round budget (non-convergence)"
+        );
+        assert!(
+            connected,
+            "healer lost connectivity during the stress campaign"
+        );
+    }
     let ledger = dist.ledger();
     let cost = dist.network().costs();
     assert_eq!(
@@ -285,7 +347,13 @@ pub fn run_stress(cfg: &StressConfig) -> StressRecord {
         total_messages: ledger.total_messages(),
         cost,
         balanced: true,
-        converged: true,
+        converged,
+        lost: ledger.lost(),
+        duplicated: ledger.duplicated(),
+        delayed: ledger.delayed(),
+        crashes: dist.network().crashes(),
+        fault_fingerprint: dist.network().fault_fingerprint(),
+        connected,
         config: cfg.clone(),
     }
 }
@@ -306,6 +374,7 @@ mod tests {
                 seed: 1,
                 threads: 1,
                 cadence: "per-deletion".into(),
+                faults: "none".into(),
             };
             let rec = run_stress(&cfg);
             assert_eq!(rec.deletions, 60, "{planner}");
@@ -332,6 +401,7 @@ mod tests {
             seed: 9,
             threads: 1,
             cadence: "per-deletion".into(),
+            faults: "none".into(),
         };
         let rec1 = run_stress(&base);
         let rec4 = run_stress(&StressConfig {
@@ -369,6 +439,7 @@ mod tests {
             seed: 2,
             threads: 2,
             cadence: "per-deletion".into(),
+            faults: "none".into(),
         });
         let json = rec.to_json();
         assert!(json.starts_with("{\n"));
@@ -381,6 +452,60 @@ mod tests {
         assert!(json.contains("\"wall_ms\""));
         assert!(json.contains("\"cost_messages_delivered\""));
         assert!(json.contains("\"cost_seeks\""));
-        assert_eq!(json.matches(':').count(), 31, "31 fields");
+        assert!(json.contains("\"faults\": \"none\""));
+        assert!(json.contains("\"lost\": 0"));
+        assert!(json.contains("\"connected\": true"));
+        assert_eq!(json.matches(':').count(), 38, "38 fields");
+    }
+
+    /// A faulty tree campaign still balances its books and reconciles
+    /// costs, stays thread-count invariant (fault schedule included), and
+    /// the `none` model is byte-identical to not arming a plan at all.
+    #[test]
+    fn faulty_campaign_balances_and_replays() {
+        let base = StressConfig {
+            nodes: 400,
+            deletions: 80,
+            wave_size: 8,
+            arity: 4,
+            planner: "random".into(),
+            seed: 17,
+            threads: 1,
+            cadence: "per-deletion".into(),
+            faults: "loss+crash".into(),
+        };
+        let rec1 = run_stress(&base);
+        let rec2 = run_stress(&StressConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        assert!(
+            rec1.lost > 0,
+            "a 5% loss model over 80 heals must lose mail"
+        );
+        assert!(rec1.crashes > 0, "a 50% crash model must crash someone");
+        assert_ne!(
+            rec1.fault_fingerprint, 0xcbf2_9ce4_8422_2325,
+            "realized faults must move the fingerprint off the FNV basis"
+        );
+        let fp = |r: &StressRecord| {
+            (
+                (r.waves, r.deletions, r.rounds),
+                (r.sent, r.delivered, r.dropped),
+                (r.lost, r.duplicated, r.delayed, r.crashes),
+                r.fault_fingerprint,
+                (r.converged, r.connected),
+            )
+        };
+        assert_eq!(fp(&rec1), fp(&rec2), "faulty record thread-invariant");
+        assert_eq!(rec1.cost, rec2.cost, "faulty engine costs bit-identical");
+
+        let clean = run_stress(&StressConfig {
+            faults: "none".into(),
+            ..base.clone()
+        });
+        assert_eq!(clean.lost, 0);
+        assert_eq!(clean.crashes, 0);
+        assert_ne!(fp(&clean), fp(&rec1), "faults must actually change a run");
     }
 }

@@ -86,6 +86,7 @@ fn seeded_regression_pins_ten_thousand_node_figures() {
         stretch_sources: 8,
         threads: 2,
         stretch_mode: "both".into(),
+        faults: "none".into(),
     });
     assert!(rec.stretch_modes_agree);
     assert_eq!(

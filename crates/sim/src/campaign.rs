@@ -79,10 +79,13 @@ pub struct WaveStats {
     pub edges_added: usize,
     /// Edges dropped by the healers.
     pub edges_removed: usize,
+    /// Deletions that were crash-stops (fault plan armed on the network).
+    pub crashes: usize,
     /// `false` iff some heal phase of this wave exhausted
-    /// [`CampaignConfig::max_rounds_per_heal`] with mail still in flight —
-    /// a truncated heal is *not* convergence and must not be mistaken for
-    /// one.
+    /// [`CampaignConfig::max_rounds_per_heal`] with mail still in flight,
+    /// **or** a crash-stop silenced in-flight heal messages during the
+    /// wave — a truncated or cut-mid-sentence heal is *not* convergence
+    /// and must not be mistaken for one.
     pub converged: bool,
     /// Exact [`OperationCost`] of the wave: every churn event and every
     /// recovery round, measured as a snapshot delta of the network's
@@ -122,8 +125,11 @@ pub struct CampaignReport {
     pub edges_added: usize,
     /// Total edges dropped.
     pub edges_removed: usize,
+    /// Total crash-stop deletions across the campaign.
+    pub crashes: usize,
     /// `true` iff **every** heal phase of every wave reached quiescence
-    /// within its round budget. Stress harnesses fail on `false`.
+    /// within its round budget and no crash-stop silenced in-flight heal
+    /// mail. Stress harnesses fail on `false` (unless running faulty).
     pub converged: bool,
     /// Sum of every wave's [`WaveStats::cost`] — the campaign's exact
     /// operation-count bill, diffable against committed baselines.
@@ -142,6 +148,7 @@ impl Default for CampaignReport {
             worst_wave_rounds: 0,
             edges_added: 0,
             edges_removed: 0,
+            crashes: 0,
             // vacuously true until a wave says otherwise
             converged: true,
             cost: OperationCost::ZERO,
@@ -225,6 +232,7 @@ impl Campaign {
     {
         net.set_threads(self.cfg.threads);
         let cost0 = net.costs();
+        let silenced0 = net.crash_silenced();
         let mut ws = WaveStats {
             wave: self.report.waves,
             converged: true,
@@ -233,20 +241,28 @@ impl Campaign {
         match self.cfg.cadence {
             HealCadence::PerDeletion => {
                 for &v in victims {
-                    let notice = net.delete_node(v);
+                    let (notice, crashed) = net.delete_node_faulty(v);
                     ws.deletions += 1;
+                    ws.crashes += usize::from(crashed);
                     ws.absorb(&notice, 1);
                     self.heal(net, &mut ws);
                 }
             }
             HealCadence::PerWave => {
                 for &v in victims {
-                    let notice = net.delete_node(v);
+                    let (notice, crashed) = net.delete_node_faulty(v);
                     ws.deletions += 1;
+                    ws.crashes += usize::from(crashed);
                     ws.absorb(&notice, 1);
                 }
                 self.heal(net, &mut ws);
             }
+        }
+        // A crash-stop that silenced in-flight mail cut a heal
+        // conversation mid-sentence: the network may be quiet, but the
+        // protocol did not finish its recovery. Not convergence.
+        if net.crash_silenced() > silenced0 {
+            ws.converged = false;
         }
         // snapshot delta: covers the deletions themselves, not just heals
         ws.cost = net.costs() - cost0;
@@ -278,6 +294,7 @@ impl Campaign {
     {
         net.set_threads(self.cfg.threads);
         let cost0 = net.costs();
+        let silenced0 = net.crash_silenced();
         let mut ws = WaveStats {
             wave: self.report.waves,
             converged: true,
@@ -286,8 +303,9 @@ impl Campaign {
         let mut apply = |net: &mut Network<P>, ev: &ChurnEvent, ws: &mut WaveStats| {
             match ev {
                 ChurnEvent::Delete(v) => {
-                    let notice = net.delete_node(*v);
+                    let (notice, crashed) = net.delete_node_faulty(*v);
                     ws.deletions += 1;
+                    ws.crashes += usize::from(crashed);
                     ws.absorb(&notice, 1);
                 }
                 ChurnEvent::Insert { neighbors } => {
@@ -319,6 +337,10 @@ impl Campaign {
                 self.heal(net, &mut ws);
             }
         }
+        // crash-silenced heal mail ⇒ the recovery was cut, not finished
+        if net.crash_silenced() > silenced0 {
+            ws.converged = false;
+        }
         // snapshot delta: covers the churn events themselves, not just heals
         ws.cost = net.costs() - cost0;
         self.absorb_wave(&ws);
@@ -335,6 +357,7 @@ impl Campaign {
         self.report.worst_wave_rounds = self.report.worst_wave_rounds.max(ws.rounds);
         self.report.edges_added += ws.edges_added;
         self.report.edges_removed += ws.edges_removed;
+        self.report.crashes += ws.crashes;
         self.report.converged &= ws.converged;
         self.report.cost += ws.cost;
     }

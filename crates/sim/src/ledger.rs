@@ -13,9 +13,19 @@
 //! - **sent** — protocol messages handed to the engine at the end of their
 //!   sending round, including mail that is later dropped;
 //! - **delivered** — protocol messages actually handed to a live process;
-//! - **dropped** — mail that never arrived: addressee dead at send time,
-//!   addressee killed while the mail was in flight, or — under
-//!   [`InFlightPolicy::Drop`](crate::InFlightPolicy) — sender killed;
+//! - **dropped** — mail that never arrived because of an *endpoint death*:
+//!   addressee dead at send time, addressee killed while the mail was in
+//!   flight, or — under [`InFlightPolicy::Drop`](crate::InFlightPolicy) or
+//!   a crash-stop — sender killed;
+//! - **lost** — mail a [`FaultPlan`](crate::FaultPlan) destroyed on the
+//!   wire (message loss and partition cuts): both endpoints were fine, the
+//!   network was not;
+//! - **duplicated** — extra copies a fault plan injected (each delivered
+//!   copy charges the per-node books as a normal delivery; this book
+//!   counts only the surplus the plan created);
+//! - **delayed** — fault-plan delay events, observability only: a delayed
+//!   message stays in flight and is eventually delivered or dropped like
+//!   any other, so this book sits outside the conservation identity;
 //! - **notices** — deletion notices (the model's failure detection),
 //!   delivered out-of-band by the environment, so they appear in the
 //!   delivery-side books but never in `sent`;
@@ -37,11 +47,17 @@
 //! times and are enforced by [`MsgLedger::check`]:
 //!
 //! ```text
-//! sent                   == delivered + dropped + in-flight   (conservation)
+//! sent + duplicated      == delivered + dropped + lost + in-flight
+//!                                                         (conservation)
 //! sum_per_node + retired == 2·delivered + notices + joins
 //!                        == 2·total_messages − notices − joins
 //!                                                        (reconciliation)
 //! ```
+//!
+//! In-flight counts both next-round inboxes *and* the engine's delay
+//! queue. On a fault-free run `duplicated` and `lost` are zero and the
+//! conservation identity reduces to the original
+//! `sent == delivered + dropped + in-flight`.
 //!
 //! # Example
 //!
@@ -64,6 +80,9 @@ pub struct MsgLedger {
     sent: u64,
     delivered: u64,
     dropped: u64,
+    lost: u64,
+    duplicated: u64,
+    delayed: u64,
     notices: u64,
     joins: u64,
     /// Delivered messages charged to their sender, indexed by node.
@@ -85,6 +104,9 @@ impl MsgLedger {
             sent: 0,
             delivered: 0,
             dropped: 0,
+            lost: 0,
+            duplicated: 0,
+            delayed: 0,
             notices: 0,
             joins: 0,
             per_sent: vec![0; capacity],
@@ -120,9 +142,26 @@ impl MsgLedger {
         self.sent += 1;
     }
 
-    /// `n` messages were dropped instead of delivered.
+    /// `n` messages were dropped instead of delivered (endpoint death).
     pub(crate) fn record_dropped(&mut self, n: u64) {
         self.dropped += n;
+    }
+
+    /// `n` messages were destroyed on the wire by the fault plan (loss or
+    /// partition cut).
+    pub(crate) fn record_lost(&mut self, n: u64) {
+        self.lost += n;
+    }
+
+    /// The fault plan injected `n` extra message copies.
+    pub(crate) fn record_duplicated(&mut self, n: u64) {
+        self.duplicated += n;
+    }
+
+    /// The fault plan postponed `n` messages (observability only; a
+    /// delayed message stays in flight until delivered or dropped).
+    pub(crate) fn record_delayed(&mut self, n: u64) {
+        self.delayed += n;
     }
 
     /// A message from `from` was delivered to the live process `to`.
@@ -158,6 +197,22 @@ impl MsgLedger {
     /// Messages dropped on dead endpoints.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages the fault plan destroyed on the wire (loss + partitions).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Extra message copies the fault plan injected.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages the fault plan postponed (each eventually delivered or
+    /// dropped; never double-counted in conservation).
+    pub fn delayed(&self) -> u64 {
+        self.delayed
     }
 
     /// Deletion notices delivered.
@@ -223,10 +278,11 @@ impl MsgLedger {
     /// queued (in-flight) messages. Returns a description of the first
     /// imbalance found.
     pub fn check(&self, in_flight: u64) -> Result<(), String> {
-        if self.sent != self.delivered + self.dropped + in_flight {
+        if self.sent + self.duplicated != self.delivered + self.dropped + self.lost + in_flight {
             return Err(format!(
-                "conservation broken: sent {} != delivered {} + dropped {} + in-flight {}",
-                self.sent, self.delivered, self.dropped, in_flight
+                "conservation broken: sent {} + duplicated {} != \
+                 delivered {} + dropped {} + lost {} + in-flight {}",
+                self.sent, self.duplicated, self.delivered, self.dropped, self.lost, in_flight
             ));
         }
         let sum = self.sum_per_node();
@@ -303,6 +359,30 @@ mod tests {
         l.record_join(n(1));
         assert_eq!(l.per_node(n(1)), 1);
         l.check(0).expect("books balance after the revival");
+    }
+
+    #[test]
+    fn fault_books_extend_conservation() {
+        let mut l = MsgLedger::new(4);
+        // four sends: one delivered, one lost on the wire, one duplicated
+        // (both copies delivered), one delayed then delivered
+        for _ in 0..4 {
+            l.record_sent();
+        }
+        l.record_delivery(n(0), n(1));
+        l.record_lost(1);
+        l.record_duplicated(1);
+        l.record_delivery(n(1), n(2));
+        l.record_delivery(n(1), n(2));
+        l.record_delayed(1);
+        assert!(l.check(1).is_ok(), "delayed message still in flight");
+        l.record_delivery(n(2), n(3));
+        l.check(0).expect("fault books balance");
+        assert_eq!((l.lost(), l.duplicated(), l.delayed()), (1, 1, 1));
+        // the error message names the new books when conservation breaks
+        l.record_lost(5);
+        let err = l.check(0).unwrap_err();
+        assert!(err.contains("lost 6"), "{err}");
     }
 
     #[test]

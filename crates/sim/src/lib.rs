@@ -65,18 +65,32 @@
 //! [`network::PAR_MIN_PENDING`] queued messages) stay sequential
 //! automatically.
 //!
+//! # Fault injection
+//!
+//! [`faults`] opens the asynchrony/fault axis behind the same replay
+//! contract: a [`FaultPlan`] (pure function of seed + message identity, no
+//! RNG state) armed via [`Network::set_fault_plan`] decides per-message
+//! loss, duplication, and delay, partition windows, and whether a deletion
+//! is a crash-stop ([`Network::delete_node_faulty`]). The ledger grows
+//! `lost`/`duplicated`/`delayed` books (conservation becomes
+//! `sent + duplicated = delivered + dropped + lost + in-flight`), and the
+//! realized schedule is FNV-fingerprinted
+//! ([`Network::fault_fingerprint`]) so seeded regressions can pin it.
+//!
 //! [`bfs`] contains the one-time setup protocol: a distributed BFS spanning
 //! tree construction with latency equal to the root's eccentricity (the
 //! stand-in for Cohen's algorithm cited by the paper).
 
 pub mod bfs;
 pub mod campaign;
+pub mod faults;
 pub mod hotset;
 pub mod ledger;
 pub mod network;
 pub mod pool;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, HealCadence, WaveStats};
+pub use faults::{FaultConfig, FaultPlan, MsgFate};
 pub use ft_costs::{CostResult, OperationCost};
 pub use hotset::HotSet;
 pub use ledger::MsgLedger;
@@ -85,5 +99,7 @@ pub use pool::WorkerPool;
 
 #[cfg(test)]
 mod accounting_tests;
+#[cfg(test)]
+mod fault_tests;
 #[cfg(test)]
 mod parallel_tests;

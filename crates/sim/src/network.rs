@@ -49,6 +49,7 @@
 //! work), which is safe precisely because both paths produce identical
 //! results.
 
+use crate::faults::{FaultPlan, MsgFate};
 use crate::hotset::HotSet;
 use crate::ledger::MsgLedger;
 use crate::pool::WorkerPool;
@@ -84,6 +85,7 @@ pub trait Process {
 pub struct Ctx<'a, M> {
     me: NodeId,
     round: u64,
+    faulty: bool,
     outbox: &'a mut Vec<(NodeId, NodeId, M)>,
     edge_adds: &'a mut Vec<(NodeId, NodeId)>,
     edge_drops: &'a mut Vec<(NodeId, NodeId)>,
@@ -98,6 +100,16 @@ impl<M> Ctx<'_, M> {
     /// Current round number.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Whether a fault plan is armed on this network. Protocols whose
+    /// correctness assumes reliable delivery may consult this to degrade
+    /// gracefully (skip an impossible heal, record the damage) instead of
+    /// panicking on a broken invariant that lost or delayed mail can
+    /// legitimately produce. Fault-free runs keep the strict panics — an
+    /// invariant breach there is an engine bug, not weather.
+    pub fn faulty(&self) -> bool {
+        self.faulty
     }
 
     /// Sends `msg` to `to` (delivered next round; dropped if `to` is dead).
@@ -241,6 +253,38 @@ pub struct Network<P: Process> {
     /// grows without bound until drained, so only consumers that replay
     /// churn, like the incremental stretch tracker, switch it on).
     journal_on: bool,
+    /// The armed fault schedule (`None` = the lossless engine; faulty
+    /// runs stay byte-identical across thread counts because every fate
+    /// is decided in `finish_round` on the calling thread).
+    faults: Option<FaultPlan>,
+    /// Delay queue: `(due_round, from, to, msg)` for mail the fault plan
+    /// postponed; matured entries re-enter the inboxes in `finish_round`.
+    /// Entries stay in insertion order (canonical routing order), so the
+    /// queue's evolution is deterministic.
+    delayed: Vec<(u64, NodeId, NodeId, P::Msg)>,
+    /// Reusable buffer the delay queue drains through each round.
+    delayed_scratch: Vec<(u64, NodeId, NodeId, P::Msg)>,
+    /// Running FNV-1a fingerprint of the realized fault schedule: every
+    /// non-[`MsgFate::Deliver`] fate and every crash-stop folds its
+    /// identity in. Pure function of (plan, campaign), thread-independent,
+    /// pinnable in seeded regressions.
+    fault_fp: u64,
+    /// Crash-stop deletions performed.
+    crashes: u64,
+    /// In-flight messages silenced by crash-stops (mail the victims had
+    /// sent but that was never delivered because they died mid-sentence).
+    crash_silenced: u64,
+}
+
+/// FNV-1a offset basis — fingerprint accumulator start value.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one u64 into an FNV-1a accumulator, byte by byte.
+#[inline]
+fn fnv_fold(fp: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *fp = (*fp ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
 }
 
 /// A replayable log of one span of topology churn: every deletion,
@@ -257,6 +301,10 @@ pub struct ChurnJournal {
     pub edges_added: Vec<(NodeId, NodeId)>,
     /// Healer edges actually removed (requests that changed the graph).
     pub edges_removed: Vec<(NodeId, NodeId)>,
+    /// The subset of `deleted` that were crash-stops (victims whose
+    /// in-flight mail was silenced). Topology consumers can ignore this;
+    /// it exists so fault post-mortems can tell crashes from departures.
+    pub crashed: Vec<NodeId>,
 }
 
 impl ChurnJournal {
@@ -266,6 +314,7 @@ impl ChurnJournal {
             && self.inserted.is_empty()
             && self.edges_added.is_empty()
             && self.edges_removed.is_empty()
+            && self.crashed.is_empty()
     }
 }
 
@@ -328,6 +377,7 @@ fn deliver_chunk<P: Process>(
     inboxes: &mut [Vec<(NodeId, P::Msg)>],
     shard: &mut Shard<P::Msg>,
     round: u64,
+    faulty: bool,
 ) {
     for &to in chunk {
         let idx = to.index() - base;
@@ -350,6 +400,7 @@ fn deliver_chunk<P: Process>(
                     let mut ctx = Ctx {
                         me: to,
                         round,
+                        faulty,
                         outbox: &mut shard.outbox,
                         edge_adds: &mut shard.edge_adds,
                         edge_drops: &mut shard.edge_drops,
@@ -413,6 +464,12 @@ impl<P: Process> Network<P> {
             nbr_scratch: Vec::new(),
             journal: ChurnJournal::default(),
             journal_on: false,
+            faults: None,
+            delayed: Vec::new(),
+            delayed_scratch: Vec::new(),
+            fault_fp: FNV_BASIS,
+            crashes: 0,
+            crash_silenced: 0,
         }
     }
 
@@ -547,9 +604,47 @@ impl<P: Process> Network<P> {
         self.ledger.per_node(v)
     }
 
-    /// Are messages waiting for delivery?
+    /// Arms (or with `None` disarms) the fault schedule for subsequent
+    /// rounds. Armed faults decide per-message fates and crash-stops; a
+    /// disarmed network is the original lossless engine.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Running FNV-1a fingerprint of the realized fault schedule: folds
+    /// every lose/duplicate/delay fate and every crash-stop, in canonical
+    /// order. Equal fingerprints ⇒ the same faults hit the same messages —
+    /// the replay contract's witness for faulty runs. On a fault-free run
+    /// this stays at the FNV offset basis.
+    pub fn fault_fingerprint(&self) -> u64 {
+        self.fault_fp
+    }
+
+    /// Crash-stop deletions performed so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// In-flight messages silenced by crash-stops so far. A heal whose
+    /// conversation was cut this way did not converge in the protocol's
+    /// sense even if the network looks quiet.
+    pub fn crash_silenced(&self) -> u64 {
+        self.crash_silenced
+    }
+
+    /// Messages parked in the fault-plan delay queue (still in flight).
+    pub fn delayed_in_flight(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Are messages waiting for delivery (inboxes or the delay queue)?
     pub fn has_pending(&self) -> bool {
-        self.pending > 0
+        self.pending > 0 || !self.delayed.is_empty()
     }
 
     /// Verifies the ledger identities against the live queue state (see
@@ -559,7 +654,8 @@ impl<P: Process> Network<P> {
     /// `costs.messages_sent == ledger.sent()` and
     /// `costs.messages_delivered == ledger.delivered()` must hold exactly.
     pub fn check_accounting(&self) -> Result<(), String> {
-        self.ledger.check(self.pending as u64)?;
+        self.ledger
+            .check(self.pending as u64 + self.delayed.len() as u64)?;
         if self.costs.messages_sent != self.ledger.sent() {
             return Err(format!(
                 "cost/ledger split: cost messages_sent {} != ledger sent {}",
@@ -582,6 +678,7 @@ impl<P: Process> Network<P> {
         // every live process is activated once
         self.costs.node_visits += self.live as u64;
         {
+            let faulty = self.faults.is_some();
             let Network {
                 procs,
                 outbox,
@@ -595,6 +692,7 @@ impl<P: Process> Network<P> {
                     let mut ctx = Ctx {
                         me: NodeId(i as u32),
                         round: *round,
+                        faulty,
                         outbox: &mut *outbox,
                         edge_adds: &mut *edge_adds,
                         edge_drops: &mut *edge_drops,
@@ -607,22 +705,25 @@ impl<P: Process> Network<P> {
     }
 
     /// Unsends `v`'s queued outbound mail: every still-undelivered message
-    /// `v` sent is removed from its addressee's inbox and accounted as
-    /// dropped. Every non-empty inbox is in the hot set, so this touches
-    /// only addressees with pending mail. Used by both
-    /// [`InFlightPolicy::Drop`] deletions and slot revival under
-    /// [`SlotPolicy::Reuse`].
-    fn unsend_in_flight_from(&mut self, v: NodeId) {
+    /// `v` sent is removed from its addressee's inbox (and from the fault
+    /// plan's delay queue) and accounted as dropped. Every non-empty inbox
+    /// is in the hot set, so this touches only addressees with pending
+    /// mail. Used by [`InFlightPolicy::Drop`] deletions, crash-stops, and
+    /// slot revival under [`SlotPolicy::Reuse`]. Returns how many messages
+    /// were unsent.
+    fn unsend_in_flight_from(&mut self, v: NodeId) -> u64 {
         let Network {
             inboxes,
             hot,
             pending,
             ledger,
             costs,
+            delayed,
             ..
         } = self;
         // one random-access probe per hot inbox scanned for the victim's mail
         costs.seeks += hot.len() as u64;
+        let mut unsent = 0u64;
         let mut emptied: Option<Vec<NodeId>> = None;
         for d in hot.iter() {
             let inbox = &mut inboxes[d.index()];
@@ -630,6 +731,7 @@ impl<P: Process> Network<P> {
             inbox.retain(|(from, _)| *from != v);
             let removed = before - inbox.len();
             *pending -= removed;
+            unsent += removed as u64;
             ledger.record_dropped(removed as u64);
             if removed > 0 && inbox.is_empty() {
                 emptied.get_or_insert_with(Vec::new).push(d);
@@ -642,6 +744,15 @@ impl<P: Process> Network<P> {
                 hot.remove(d);
             }
         }
+        // The victim's delayed mail is silenced with it.
+        if !delayed.is_empty() {
+            let before = delayed.len();
+            delayed.retain(|(_, from, _, _)| *from != v);
+            let removed = (before - delayed.len()) as u64;
+            unsent += removed;
+            ledger.record_dropped(removed);
+        }
+        unsent
     }
 
     /// Deletes `v` (the adversary's move): removes it from the topology,
@@ -652,6 +763,40 @@ impl<P: Process> Network<P> {
     /// # Panics
     /// Panics if `v` is dead.
     pub fn delete_node(&mut self, v: NodeId) -> RoundStats {
+        self.delete_node_impl(v, false)
+    }
+
+    /// Deletes `v` as a **crash-stop**: the node dies so abruptly that its
+    /// queued outbound mail is silenced regardless of the engine's
+    /// [`InFlightPolicy`] — any heal conversation it was mid-sentence in
+    /// is cut. Surviving neighbors still receive deletion notices (those
+    /// model out-of-band failure detection, not a message from the
+    /// victim). The silenced-message count accumulates in
+    /// [`Network::crash_silenced`].
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn delete_node_crash(&mut self, v: NodeId) -> RoundStats {
+        self.delete_node_impl(v, true)
+    }
+
+    /// Deletes `v`, consulting the armed fault plan to decide whether this
+    /// deletion is a crash-stop ([`FaultPlan::crash_stop`] of the current
+    /// round and victim) or a clean departure. Returns the round's stats
+    /// and whether the deletion crashed. Without an armed plan this is
+    /// exactly [`Network::delete_node`].
+    ///
+    /// # Panics
+    /// Panics if `v` is dead.
+    pub fn delete_node_faulty(&mut self, v: NodeId) -> (RoundStats, bool) {
+        let crash = self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.crash_stop(self.round, v));
+        (self.delete_node_impl(v, crash), crash)
+    }
+
+    fn delete_node_impl(&mut self, v: NodeId, crash: bool) -> RoundStats {
         assert!(
             self.procs.get(v.index()).is_some_and(|p| p.is_some()),
             "{v:?} already dead"
@@ -666,6 +811,9 @@ impl<P: Process> Network<P> {
         self.costs.node_visits += neighbors.len() as u64;
         if self.journal_on {
             self.journal.deleted.push((v, neighbors.clone()));
+            if crash {
+                self.journal.crashed.push(v);
+            }
         }
         // Mail addressed to the dead node is lost with it; the emptied
         // buffer parks in the arena for the next inserted slot, and the
@@ -679,12 +827,30 @@ impl<P: Process> Network<P> {
         self.hot.remove(v);
         self.pending -= purged;
         self.ledger.record_dropped(purged as u64);
-        if self.policy == InFlightPolicy::Drop {
+        // Delayed mail addressed to the dead node is lost with it too.
+        if !self.delayed.is_empty() {
+            let before = self.delayed.len();
+            self.delayed.retain(|(_, _, to, _)| *to != v);
+            self.ledger
+                .record_dropped((before - self.delayed.len()) as u64);
+        }
+        if crash {
+            // Crash-stop: the victim dies mid-sentence — its queued
+            // outbound mail is silenced no matter the in-flight policy.
+            self.crashes += 1;
+            let silenced = self.unsend_in_flight_from(v);
+            self.crash_silenced += silenced;
+            fnv_fold(&mut self.fault_fp, 4);
+            fnv_fold(&mut self.fault_fp, self.round);
+            fnv_fold(&mut self.fault_fp, u64::from(v.0));
+            fnv_fold(&mut self.fault_fp, silenced);
+        } else if self.policy == InFlightPolicy::Drop {
             // Silence the victim: unsend its queued outbound mail too.
             self.unsend_in_flight_from(v);
         }
         let mut delivered = 0usize;
         {
+            let faulty = self.faults.is_some();
             let Network {
                 procs,
                 outbox,
@@ -703,6 +869,7 @@ impl<P: Process> Network<P> {
                 let mut ctx = Ctx {
                     me: u,
                     round: *round,
+                    faulty,
                     outbox: &mut *outbox,
                     edge_adds: &mut *edge_adds,
                     edge_drops: &mut *edge_drops,
@@ -787,6 +954,7 @@ impl<P: Process> Network<P> {
         }
         let mut delivered = 0usize;
         {
+            let faulty = self.faults.is_some();
             let Network {
                 procs,
                 outbox,
@@ -801,6 +969,7 @@ impl<P: Process> Network<P> {
             let mut ctx = Ctx {
                 me: v,
                 round: *round,
+                faulty,
                 outbox: &mut *outbox,
                 edge_adds: &mut *edge_adds,
                 edge_drops: &mut *edge_drops,
@@ -816,6 +985,7 @@ impl<P: Process> Network<P> {
                 let mut ctx = Ctx {
                     me: u,
                     round: *round,
+                    faulty,
                     outbox: &mut *outbox,
                     edge_adds: &mut *edge_adds,
                     edge_drops: &mut *edge_drops,
@@ -854,6 +1024,7 @@ impl<P: Process> Network<P> {
     /// charging ledger and load per delivery; returns the delivery count.
     fn deliver_seq(&mut self, hot: &[NodeId]) -> usize {
         let mut delivered = 0usize;
+        let faulty = self.faults.is_some();
         let Network {
             procs,
             inboxes,
@@ -898,6 +1069,7 @@ impl<P: Process> Network<P> {
                         let mut ctx = Ctx {
                             me: to,
                             round: *round,
+                            faulty,
                             outbox: &mut *outbox,
                             edge_adds: &mut *edge_adds,
                             edge_drops: &mut *edge_drops,
@@ -966,6 +1138,40 @@ impl<P: Process> Network<P> {
         self.costs.heap_bytes +=
             (self.outbox.len() * std::mem::size_of::<(NodeId, NodeId, P::Msg)>()) as u64;
         self.costs.edge_scans += (self.edge_drops.len() + self.edge_adds.len()) as u64;
+        // Mature the fault plan's delay queue first: postponed mail whose
+        // due round is next re-enters the inboxes *ahead* of this round's
+        // fresh sends (it is older traffic). The guard keeps the fault-free
+        // path — where the queue is always empty — byte-for-byte identical
+        // to the original engine.
+        if !self.delayed.is_empty() {
+            let next = self.round + 1;
+            let mut queue = std::mem::take(&mut self.delayed_scratch);
+            std::mem::swap(&mut self.delayed, &mut queue);
+            let Network {
+                procs,
+                inboxes,
+                hot,
+                pending,
+                ledger,
+                delayed,
+                ..
+            } = self;
+            for (due, from, to, msg) in queue.drain(..) {
+                if due > next {
+                    delayed.push((due, from, to, msg));
+                    // ft-lint: allow(panic-in-engine, "guarded: to.index() < procs.len() is checked on this line")
+                } else if to.index() < procs.len() && procs[to.index()].is_some() {
+                    // ft-lint: allow(panic-in-engine, "same guard as the line above; inboxes.len() == procs.len()")
+                    inboxes[to.index()].push((from, msg));
+                    hot.insert(to);
+                    *pending += 1;
+                } else {
+                    // the addressee died while the mail was parked
+                    ledger.record_dropped(1);
+                }
+            }
+            self.delayed_scratch = queue;
+        }
         {
             let Network {
                 procs,
@@ -974,19 +1180,90 @@ impl<P: Process> Network<P> {
                 hot,
                 pending,
                 ledger,
+                faults,
+                delayed,
+                fault_fp,
+                round,
                 ..
             } = self;
-            for (from, to, msg) in outbox.drain(..) {
-                ledger.record_sent();
-                // ft-lint: allow(panic-in-engine, "guarded: to.index() < procs.len() is checked on this line")
-                if to.index() < procs.len() && procs[to.index()].is_some() {
-                    // ft-lint: allow(panic-in-engine, "same guard as the line above; inboxes.len() == procs.len()")
-                    inboxes[to.index()].push((from, msg));
-                    hot.insert(to); // idempotent bit-set
-                    *pending += 1;
-                } else {
-                    // addressee is dead at send time; dropped on the floor
-                    ledger.record_dropped(1);
+            match faults {
+                None => {
+                    for (from, to, msg) in outbox.drain(..) {
+                        ledger.record_sent();
+                        // ft-lint: allow(panic-in-engine, "guarded: to.index() < procs.len() is checked on this line")
+                        if to.index() < procs.len() && procs[to.index()].is_some() {
+                            // ft-lint: allow(panic-in-engine, "same guard as the line above; inboxes.len() == procs.len()")
+                            inboxes[to.index()].push((from, msg));
+                            hot.insert(to); // idempotent bit-set
+                            *pending += 1;
+                        } else {
+                            // addressee is dead at send time; dropped on the floor
+                            ledger.record_dropped(1);
+                        }
+                    }
+                }
+                Some(plan) => {
+                    // Faulty routing. Fates are pure functions of (plan
+                    // seed, round, endpoints, canonical send position k),
+                    // decided here on the calling thread over the merged
+                    // outbox — so the realized schedule cannot depend on
+                    // how the round was sharded.
+                    for (k, (from, to, msg)) in outbox.drain(..).enumerate() {
+                        ledger.record_sent();
+                        let alive =
+                            // ft-lint: allow(panic-in-engine, "guarded: to.index() < procs.len() is checked on this line")
+                            to.index() < procs.len() && procs[to.index()].is_some();
+                        match plan.fate(*round, from, to, k as u64) {
+                            MsgFate::Deliver => {
+                                if alive {
+                                    // ft-lint: allow(panic-in-engine, "alive implies the bounds guard above held; inboxes.len() == procs.len()")
+                                    inboxes[to.index()].push((from, msg));
+                                    hot.insert(to);
+                                    *pending += 1;
+                                } else {
+                                    ledger.record_dropped(1);
+                                }
+                            }
+                            MsgFate::Lose => {
+                                // destroyed on the wire, endpoints fine
+                                ledger.record_lost(1);
+                                fnv_fold(fault_fp, 1);
+                                fnv_fold(fault_fp, *round);
+                                fnv_fold(fault_fp, (u64::from(from.0) << 32) | u64::from(to.0));
+                                fnv_fold(fault_fp, k as u64);
+                            }
+                            MsgFate::Duplicate => {
+                                ledger.record_duplicated(1);
+                                fnv_fold(fault_fp, 2);
+                                fnv_fold(fault_fp, *round);
+                                fnv_fold(fault_fp, (u64::from(from.0) << 32) | u64::from(to.0));
+                                fnv_fold(fault_fp, k as u64);
+                                if alive {
+                                    // ft-lint: allow(panic-in-engine, "alive implies the bounds guard above held; inboxes.len() == procs.len()")
+                                    inboxes[to.index()].push((from, msg.clone()));
+                                    // ft-lint: allow(panic-in-engine, "alive implies the bounds guard above held; inboxes.len() == procs.len()")
+                                    inboxes[to.index()].push((from, msg));
+                                    hot.insert(to);
+                                    *pending += 2;
+                                } else {
+                                    // both copies die with the addressee
+                                    ledger.record_dropped(2);
+                                }
+                            }
+                            MsgFate::Delay(extra) => {
+                                ledger.record_delayed(1);
+                                fnv_fold(fault_fp, 3);
+                                fnv_fold(fault_fp, *round);
+                                fnv_fold(fault_fp, (u64::from(from.0) << 32) | u64::from(to.0));
+                                fnv_fold(fault_fp, k as u64);
+                                fnv_fold(fault_fp, u64::from(extra));
+                                // parked until due; liveness is re-judged
+                                // at maturity (the addressee may die or be
+                                // revived while the mail is parked)
+                                delayed.push((*round + 1 + u64::from(extra), from, to, msg));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1101,6 +1378,7 @@ where
             self.pool = Some(WorkerPool::new(spawn));
         }
         {
+            let faulty = self.faults.is_some();
             let Network {
                 procs,
                 inboxes,
@@ -1140,7 +1418,7 @@ where
                 let my_base = base;
                 base = hi;
                 jobs.push(Box::new(move || {
-                    deliver_chunk(chunk, my_base, p_mine, i_mine, shard, round);
+                    deliver_chunk(chunk, my_base, p_mine, i_mine, shard, round, faulty);
                 }));
             }
             // ft-lint: allow(panic-in-engine, "self.pool is assigned Some(..) unconditionally at the top of deliver_par")

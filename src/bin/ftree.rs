@@ -12,9 +12,16 @@
 //!               --planner mixed --insert-frac 0.4 --seed 42 \
 //!               --stretch incremental --threads 4 --out BENCH_graph.json
 //! ftree costs   [--out BENCH_costs.json]
+//! ftree faults  [--nodes 500] [--events 120] [--wave 10] [--seed 42] \
+//!               [--threads 1] [--out BENCH_faults.json]
 //! ftree lint    [--root DIR] [--format human|json]
 //! ftree help
 //! ```
+//!
+//! Both `stress` forms take `--faults MODEL` (`none`, `delay`, `loss`,
+//! `dup`, `crash`, `partition`, `chaos`, or `+`-joined combinations like
+//! `loss+crash`) to arm a seeded deterministic fault plan on the campaign;
+//! `faults` sweeps the full protocol × model bounds-survival matrix.
 //!
 //! Workload syntax: `path:N`, `star:N`, `kary<K>:N`, `caterpillar:SxL`,
 //! `broom:H+B`, `random:N#SEED`, `pref:N#SEED`.
@@ -24,8 +31,8 @@
 
 use forgiving_tree::costs::OperationCost;
 use forgiving_tree::metrics::{
-    log_log_slope, run_graph_stress, run_stress, run_trial, GraphStressConfig, StressConfig, Table,
-    TrialConfig, Workload,
+    log_log_slope, run_fault_matrix, run_graph_stress, run_stress, run_trial, FaultMatrixConfig,
+    GraphStressConfig, StressConfig, Table, TrialConfig, Workload,
 };
 use forgiving_tree::prelude::*;
 use std::process::exit;
@@ -35,14 +42,16 @@ fn usage() -> ! {
         "usage:\n  ftree attack  --workload W --adversary A --healer H [--fraction F] [--dot] [--csv]\n  \
          ftree scaling --healer H --adversary A\n  \
          ftree duel    --workload W\n  \
-         ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--cadence per-deletion|per-wave] [--seed S] [--threads T] [--out FILE]\n  \
-         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--seed S] [--sources B] [--stretch full|incremental|both] [--threads T] [--out FILE]\n  \
+         ftree stress  [--model tree]  [--nodes N] [--deletions D] [--wave K] [--arity A] [--planner P] [--cadence per-deletion|per-wave] [--faults M] [--seed S] [--threads T] [--out FILE]\n  \
+         ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--faults M] [--seed S] [--sources B] [--stretch full|incremental|both] [--threads T] [--out FILE]\n  \
          ftree costs   [--out FILE]\n  \
+         ftree faults  [--nodes N] [--events E] [--wave K] [--seed S] [--threads T] [--out FILE]\n  \
          ftree lint    [--root DIR] [--format human|json]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
          healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
          planners  : random targeted heavy-tail (tree stress) | mixed surge (graph stress)\n\
+         faults    : none delay loss dup crash partition chaos, or +-joined (loss+crash)\n\
          numbers   : stress counts accept scaled forms (100k, 1m, 1e6, 2.5m)"
     );
     exit(2);
@@ -142,6 +151,17 @@ fn parse_scaled(s: &str) -> Option<usize> {
         return approx(t.parse::<f64>().ok()?);
     }
     None
+}
+
+/// Reads and validates `--faults` (default `none`) against the named
+/// fault models, rejecting unknown names before any campaign runs.
+fn parse_fault_model(args: &[String]) -> String {
+    let model = flag_value(args, "--faults").unwrap_or("none");
+    if forgiving_tree::prelude::make_fault_plan(model, 0).is_none() {
+        eprintln!("unknown fault model: {model}");
+        usage();
+    }
+    model.into()
 }
 
 fn cmd_attack(args: &[String]) {
@@ -281,6 +301,7 @@ fn cmd_stress_tree(args: &[String]) {
         eprintln!("unknown cadence: {cadence} (per-deletion | per-wave)");
         usage();
     }
+    let faults = parse_fault_model(args);
     let cfg = StressConfig {
         nodes: num("--nodes", defaults.nodes),
         deletions: num("--deletions", defaults.deletions),
@@ -290,15 +311,30 @@ fn cmd_stress_tree(args: &[String]) {
         seed: num("--seed", defaults.seed as usize) as u64,
         threads: num("--threads", defaults.threads).max(1),
         cadence: cadence.into(),
+        faults,
     };
-    // run_stress panics (non-zero exit) on ledger imbalance or a heal that
-    // fails to quiesce — exactly the signals CI must treat as failures.
+    // run_stress panics (non-zero exit) on ledger imbalance or (fault-free)
+    // a heal that fails to quiesce — exactly the signals CI must treat as
+    // failures.
     let rec = run_stress(&cfg);
     println!("{}", rec.summary());
     println!(
         "  ledger: sent {} = delivered {} + dropped {} (+0 in flight) | notices {} | total {}",
         rec.sent, rec.delivered, rec.dropped, rec.notices, rec.total_messages
     );
+    if cfg.faults != "none" {
+        println!(
+            "  faults ({}): lost {} | duplicated {} | delayed {} | crashes {} | converged {} | connected {} | fingerprint {:#018x}",
+            cfg.faults,
+            rec.lost,
+            rec.duplicated,
+            rec.delayed,
+            rec.crashes,
+            rec.converged,
+            rec.connected,
+            rec.fault_fingerprint
+        );
+    }
     let out = flag_value(args, "--out").unwrap_or("BENCH_sim.json");
     std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
@@ -336,6 +372,7 @@ fn cmd_stress_graph(args: &[String]) {
         eprintln!("unknown stretch mode: {stretch_mode} (full | incremental | both)");
         usage();
     }
+    let faults = parse_fault_model(args);
     let cfg = GraphStressConfig {
         nodes: num("--nodes", defaults.nodes),
         events: num("--events", defaults.events),
@@ -347,10 +384,11 @@ fn cmd_stress_graph(args: &[String]) {
         stretch_sources: num("--sources", defaults.stretch_sources),
         threads: num("--threads", defaults.threads).max(1),
         stretch_mode: stretch_mode.into(),
+        faults,
     };
-    // run_graph_stress panics (non-zero exit) on ledger imbalance, stale
-    // wills, lost connectivity, or an O(log n) bound violation — exactly
-    // the signals CI must treat as failures.
+    // run_graph_stress panics (non-zero exit) on ledger imbalance and, in
+    // fault-free runs, on stale wills, lost connectivity, or an O(log n)
+    // bound violation — exactly the signals CI must treat as failures.
     let rec = run_graph_stress(&cfg);
     println!("{}", rec.summary());
     println!(
@@ -379,6 +417,20 @@ fn cmd_stress_graph(args: &[String]) {
             ""
         }
     );
+    if cfg.faults != "none" {
+        println!(
+            "  faults ({}): lost {} | duplicated {} | delayed {} | crashes {} | converged {} | wills {} | connected {} | fingerprint {:#018x}",
+            cfg.faults,
+            rec.lost,
+            rec.duplicated,
+            rec.delayed,
+            rec.crashes,
+            rec.converged,
+            rec.wills_ok,
+            rec.connected,
+            rec.fault_fingerprint
+        );
+    }
     println!(
         "  cost: visits {} scans {} heap {} B | stretch visits {} scans {} heap {} B seeks {}",
         rec.cost.node_visits,
@@ -472,6 +524,30 @@ fn cmd_costs(args: &[String]) {
     println!("wrote {out}");
 }
 
+fn cmd_faults(args: &[String]) {
+    let num = |flag: &str, default: usize| -> usize {
+        flag_value(args, flag)
+            .map(|s| parse_scaled(s).unwrap_or_else(|| usage()))
+            .unwrap_or(default)
+    };
+    let defaults = FaultMatrixConfig::default();
+    let cfg = FaultMatrixConfig {
+        nodes: num("--nodes", defaults.nodes),
+        events: num("--events", defaults.events),
+        wave_size: num("--wave", defaults.wave_size),
+        seed: num("--seed", defaults.seed as usize) as u64,
+        threads: num("--threads", defaults.threads).max(1),
+    };
+    let rec = run_fault_matrix(&cfg);
+    print!("{}", rec.summary());
+    let out = flag_value(args, "--out").unwrap_or("BENCH_faults.json");
+    std::fs::write(out, rec.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
@@ -480,6 +556,7 @@ fn main() {
         Some("duel") => cmd_duel(&args[1..]),
         Some("stress") => cmd_stress(&args[1..]),
         Some("costs") => cmd_costs(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("lint") => exit(forgiving_tree::lint::run_cli(&args[1..])),
         _ => usage(),
     }

@@ -77,8 +77,8 @@ pub use ft_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use ft_adversary::{
-        make_churn_planner, make_wave_planner, Adversary, AdversaryView, ChurnPlanner,
-        DiameterGreedy, HeavyTailWave, HeirHunter, HighestDegreeAdversary, HubSiphon,
+        make_churn_planner, make_fault_plan, make_wave_planner, Adversary, AdversaryView,
+        ChurnPlanner, DiameterGreedy, HeavyTailWave, HeirHunter, HighestDegreeAdversary, HubSiphon,
         LowestDegreeAdversary, MixedChurn, RandomAdversary, RandomWave, RootAdversary, SurgeChurn,
         TargetedWave, WavePlanner,
     };
@@ -95,13 +95,14 @@ pub mod prelude {
     pub use ft_graph::tree::RootedTree;
     pub use ft_graph::{gen, ChurnEvent, Graph, NodeId};
     pub use ft_metrics::{
-        measure_stretch, measure_stretch_full, run_graph_stress, run_stress, run_trial,
-        select_sources, GraphStressConfig, GraphStressRecord, StressConfig, StressRecord,
-        StretchReport, StretchTracker, Table, Trial, TrialConfig, Workload,
+        measure_stretch, measure_stretch_full, run_fault_matrix, run_graph_stress, run_stress,
+        run_trial, select_sources, FaultCell, FaultMatrixConfig, FaultMatrixRecord,
+        GraphStressConfig, GraphStressRecord, StressConfig, StressRecord, StretchReport,
+        StretchTracker, Table, Trial, TrialConfig, Workload,
     };
     pub use ft_sim::bfs::distributed_bfs_tree;
     pub use ft_sim::{
-        Campaign, CampaignConfig, CampaignReport, HealCadence, InFlightPolicy, MsgLedger,
-        SlotPolicy,
+        Campaign, CampaignConfig, CampaignReport, FaultConfig, FaultPlan, HealCadence,
+        InFlightPolicy, MsgFate, MsgLedger, SlotPolicy,
     };
 }
