@@ -333,7 +333,7 @@ impl DistributedForgivingGraph {
         for &u in &live {
             self.pristine.add_edge(pv, u);
         }
-        self.net.run_until_quiet(8);
+        let ((_rounds, _merged), _cost) = self.net.run_until_quiet(8);
         v
     }
 

@@ -3,23 +3,24 @@
 //!
 //! PR 4 made threaded heals byte-identical to sequential runs; checkpoint/
 //! time-travel, the seeded fault-model axis, and the 10⁷-node incremental
-//! stretch work all *build on* that determinism contract. Nothing enforced
-//! it until now: one stray `HashMap` iteration or unseeded RNG in a hot
-//! path silently breaks replay, and an end-to-end record diff is the only
-//! thing that might notice. `ft-lint` turns the contract into CI-red rules
-//! over the source itself — an offline, dependency-free pass built from a
-//! small hand-rolled lexer ([`lexer`]) and a token-pattern rule engine
-//! ([`rules`]).
+//! stretch work all *build on* that determinism contract. `ft-lint` turns
+//! the contract into CI-red rules over the source itself — an offline,
+//! dependency-free pass built from a small hand-rolled lexer ([`lexer`]),
+//! a shape-only recursive-descent parser ([`parser`]), a deterministic
+//! workspace call graph ([`callgraph`]), and an eleven-rule engine
+//! ([`rules`]): seven per-token pattern rules plus four cross-function
+//! semantic rules (determinism taint propagation ([`taint`]), cost-charge
+//! coverage, dropped-`CostResult` discipline, and panic reachability from
+//! the round-engine roots).
 //!
 //! The rule catalog lives in [`RULES`]; the paths each rule binds are in
 //! [`rules::rule_applies`]; the suppression grammar is
 //! `// ft-lint: allow(<rule>, "<reason>")` with a **mandatory** written
-//! reason. See `docs/ARCHITECTURE.md` § "Determinism contract & static
-//! analysis" for the full policy.
+//! reason. See `docs/LINT.md` for the full policy.
 //!
 //! Entry points: [`lint_workspace`] walks a workspace root; `ftree lint`
-//! and the `ft-lint` binary wrap it with human and machine-readable (JSON)
-//! output.
+//! and the `ft-lint` binary wrap it with human, JSON, and SARIF output
+//! plus the `--stale` suppression audit.
 //!
 //! # Example
 //!
@@ -33,10 +34,14 @@
 //! assert_eq!(report.violations[0].rule, "nondeterministic-iteration");
 //! ```
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
-pub use rules::{lint_source, Finding, Suppressed, RULES, RULE_NAMES};
+pub use rules::{lint_files, lint_source, Finding, Suppressed, WorkspaceLint, RULES, RULE_NAMES};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -147,6 +152,11 @@ impl Report {
         s.push_str("  ]\n}\n");
         s
     }
+
+    /// Renders the SARIF 2.1.0 log for CI inline annotations.
+    pub fn to_sarif(&self) -> String {
+        sarif::to_sarif(self)
+    }
 }
 
 fn comma(i: usize, len: usize) -> &'static str {
@@ -157,7 +167,7 @@ fn comma(i: usize, len: usize) -> &'static str {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -175,12 +185,11 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Directories the walker never descends into. `tests`, `benches`,
-/// `examples`, and `fixtures` hold test code (exempt by policy);
-/// `target`/`vendor`/`.git` are build output and vendored shims.
-const SKIP_DIRS: [&str; 7] = [
-    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
-];
+/// Directories the walker never descends into: build output, vendored
+/// shims, VCS metadata, and fixture mini-workspaces (linted *as*
+/// workspaces by the golden tests, never as source of this one). Test,
+/// bench, and example trees ARE walked — the hygiene rules bind them.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
@@ -204,20 +213,21 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under `root`'s `src/` and `crates/*/src/` trees
-/// (test, bench, example, vendored, and fixture code excluded by policy).
+/// Lints every `.rs` file under `root`'s `src/`, `crates/`, `tests/`,
+/// `examples/`, and `benches/` trees (vendored and fixture code excluded
+/// by policy; test-scope files get the hygiene rules only).
 ///
 /// `root` is a workspace root — the real repository or a fixture
 /// mini-workspace; reported paths are relative to it.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
-    for top in ["src", "crates"] {
+    for top in ["src", "crates", "tests", "examples", "benches"] {
         let dir = root.join(top);
         if dir.is_dir() {
             walk(&dir, &mut files)?;
         }
     }
-    let mut report = Report::default();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -227,33 +237,25 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         if rules::is_exempt_path(&rel) {
             continue;
         }
-        let src = std::fs::read_to_string(&path)?;
-        let fl = lint_source(&rel, &src);
-        report.files_scanned += 1;
-        report.violations.extend(fl.violations);
-        report.suppressed.extend(fl.suppressed);
-        report.unused_allows.extend(
-            fl.unused_allows
-                .into_iter()
-                .map(|(rule, line)| (rel.clone(), rule, line)),
-        );
+        inputs.push((rel, std::fs::read_to_string(&path)?));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report
-        .suppressed
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report.unused_allows.sort();
-    Ok(report)
+    let wl = lint_files(&inputs);
+    Ok(Report {
+        violations: wl.violations,
+        suppressed: wl.suppressed,
+        unused_allows: wl.unused_allows,
+        files_scanned: inputs.len(),
+    })
 }
 
 /// CLI driver shared by the `ft-lint` binary and `ftree lint`: parses
-/// `--root DIR` / `--format human|json`, prints the report, and returns
-/// the process exit code (0 clean, 1 violations, 2 usage error).
+/// `--root DIR` / `--format human|json|sarif` / `--stale`, prints the
+/// report, and returns the process exit code (0 clean, 1 violations — or,
+/// under `--stale`, stale suppressions — 2 usage error).
 pub fn run_cli(args: &[String]) -> i32 {
     let mut root = String::from(".");
     let mut format = String::from("human");
+    let mut stale = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -267,19 +269,23 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
             "--format" => {
                 let Some(v) = args.get(i + 1) else {
-                    eprintln!("--format needs `human` or `json`");
+                    eprintln!("--format needs `human`, `json`, or `sarif`");
                     return 2;
                 };
-                if v != "human" && v != "json" {
-                    eprintln!("unknown format `{v}` (human | json)");
+                if v != "human" && v != "json" && v != "sarif" {
+                    eprintln!("unknown format `{v}` (human | json | sarif)");
                     return 2;
                 }
                 format = v.clone();
                 i += 2;
             }
+            "--stale" => {
+                stale = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown ft-lint argument `{other}`");
-                eprintln!("usage: ft-lint [--root DIR] [--format human|json]");
+                eprintln!("usage: ft-lint [--root DIR] [--format human|json|sarif] [--stale]");
                 return 2;
             }
         }
@@ -291,12 +297,13 @@ pub fn run_cli(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if format == "json" {
-        print!("{}", report.to_json());
-    } else {
-        print!("{}", report.to_human());
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        "sarif" => print!("{}", report.to_sarif()),
+        _ => print!("{}", report.to_human()),
     }
-    i32::from(!report.is_clean())
+    let stale_fail = stale && !report.unused_allows.is_empty();
+    i32::from(!report.is_clean() || stale_fail)
 }
 
 #[cfg(test)]
@@ -317,5 +324,6 @@ mod tests {
         assert!(r.is_clean());
         assert!(r.to_human().contains("3 file(s) scanned"));
         assert!(r.to_json().contains("\"violation_count\": 0"));
+        assert!(r.to_sarif().contains("\"version\": \"2.1.0\""));
     }
 }

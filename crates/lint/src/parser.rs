@@ -1,0 +1,573 @@
+//! A lightweight recursive-descent pass over the token stream — just
+//! enough Rust *shape* for cross-function analysis.
+//!
+//! The PR 6 linter matched per-line token patterns, which is exactly why
+//! the `stitch_components` HashMap-order bug had to reach a seeded-replay
+//! diff before anyone noticed: the iteration happened in one function and
+//! the protocol decision in another. This module recovers the structure
+//! the call-graph rules need without a full Rust grammar:
+//!
+//! - **items**: `fn` definitions (free and inherent/trait-impl methods),
+//!   `impl` blocks (to qualify methods as `Type::name`), `#[test]` /
+//!   `#[cfg(test)]`-gated regions;
+//! - **signatures**: the token span between the `fn` name and its body,
+//!   scanned for marker types (`CostResult`);
+//! - **call expressions**: bare calls (`helper(…)`), path-qualified calls
+//!   (`Type::helper(…)`, turbofish tolerated), and method calls
+//!   (`recv.helper(…)`), each with the *statement context* needed by the
+//!   dropped-cost rule (`let _ = …;` or a bare expression statement).
+//!
+//! Everything here is deliberately heuristic — the linter must degrade
+//! gracefully on code `rustc` would reject (fixtures do that on purpose)
+//! — but every heuristic errs toward *more* edges, never fewer: the
+//! call-graph rules built on top are reachability arguments, and a missed
+//! edge is a missed bug while a spurious edge is at worst a written-reason
+//! suppression.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// How the value of a call expression is consumed by its statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discard {
+    /// The value flows somewhere (binding, argument, return position, …).
+    No,
+    /// The whole value is thrown away via `let _ = …;`.
+    LetUnderscore,
+    /// The call is a bare expression statement (`f(…);`) whose value —
+    /// cost component included — evaporates.
+    Statement,
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// The called name: the method name, or the last path segment.
+    pub name: String,
+    /// For `Type::name(…)` calls, the qualifying segment (`Self` is
+    /// resolved to the enclosing impl type by the caller of this module).
+    pub qual: Option<String>,
+    /// For method calls, the receiver's trailing identifier when it is a
+    /// simple one (`self.outbox.push(…)` → `outbox`).
+    pub recv: Option<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Statement context (see [`Discard`]).
+    pub discard: Discard,
+}
+
+/// One `fn` definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Bare function/method name.
+    pub name: String,
+    /// `Type::name` for methods in an `impl` block, else the bare name.
+    pub qname: String,
+    /// The enclosing `impl` type, when any.
+    pub impl_type: Option<String>,
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the definition sits in a `#[test]`/`#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Whether the signature's return type mentions `CostResult`.
+    pub returns_cost_result: bool,
+    /// Token index of the name token (the signature runs from here to the
+    /// body's opening brace).
+    pub sig_start: usize,
+    /// Token-index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Every call expression in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Parser output for one file.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// All function definitions, in source order.
+    pub defs: Vec<FnDef>,
+    /// Per-token: inside a `#[test]`/`#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Per-token: index into [`defs`](Self::defs) of the innermost
+    /// enclosing function, when any.
+    pub enclosing: Vec<Option<usize>>,
+}
+
+/// Keywords that look like `ident (` but never name a call.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "in"
+            | "as"
+            | "move"
+            | "unsafe"
+            | "let"
+            | "mut"
+            | "ref"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+    )
+}
+
+/// Marks every token inside a `#[…test…]`-gated item (same contract the
+/// PR 6 token engine used: attribute scan, then the gated item runs to the
+/// close of its first brace body or a top-level `;`).
+fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
+    let n = toks.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if toks[j].kind == TokKind::Ident => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut opened = false;
+                while k < n {
+                    match toks[k].text.as_str() {
+                        "{" | "(" | "[" => {
+                            depth += 1;
+                            opened = opened || toks[k].text == "{";
+                        }
+                        "}" | ")" | "]" => {
+                            depth -= 1;
+                            if depth == 0 && opened && toks[k].text == "}" {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for flag in in_test.iter_mut().take(k.min(n - 1) + 1).skip(i) {
+                    *flag = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Extracts the subject type of an `impl` header: the first identifier at
+/// angle-depth 0 after `for` when present, else after `impl` itself
+/// (generic parameter lists are skipped by angle-depth tracking).
+fn impl_subject(toks: &[Token], impl_idx: usize, open_idx: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut after_for = None;
+    let mut first = None;
+    let mut j = impl_idx + 1;
+    while j < open_idx {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "for" if t.kind == TokKind::Ident && angle == 0 => {
+                after_for = None; // the type follows; reset and capture next
+                j += 1;
+                while j < open_idx {
+                    let u = &toks[j];
+                    match u.text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle = (angle - 1).max(0),
+                        _ if u.kind == TokKind::Ident && angle == 0 && u.text != "dyn" => {
+                            after_for = Some(u.text.clone());
+                            // keep scanning: `for a::b::C` — last segment wins
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            _ if t.kind == TokKind::Ident && angle == 0 && first.is_none() && t.text != "dyn" => {
+                first = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    after_for.or(first)
+}
+
+/// Parses one file's token stream into function definitions with call
+/// sites. `file` is the workspace-relative path copied into every def.
+pub fn parse(file: &str, lx: &Lexed) -> Parsed {
+    let toks = &lx.tokens;
+    let n = toks.len();
+    let in_test = mark_test_regions(toks);
+    let mut enclosing: Vec<Option<usize>> = vec![None; n];
+    let mut defs: Vec<FnDef> = Vec::new();
+
+    // Stacks: impl blocks (subject type, depth of their `{`), open fns
+    // (def index, depth of their body `{`).
+    let mut impl_stack: Vec<(Option<String>, i32)> = Vec::new();
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    let mut brace_depth = 0i32;
+    // A pending `fn name` whose body `{` has not been seen yet:
+    // (name, index of the name token).
+    let mut pending_fn: Option<(String, usize)> = None;
+    // A pending `impl` header whose `{` has not been seen yet.
+    let mut pending_impl: Option<usize> = None;
+
+    for idx in 0..n {
+        let t = &toks[idx];
+        match t.text.as_str() {
+            "impl" if t.kind == TokKind::Ident && pending_fn.is_none() => {
+                pending_impl = Some(idx);
+            }
+            "fn" if t.kind == TokKind::Ident => {
+                if let Some(name_tok) = toks.get(idx + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        pending_fn = Some((name_tok.text.clone(), idx + 1));
+                    }
+                }
+            }
+            "{" => {
+                brace_depth += 1;
+                if let Some((name, name_idx)) = pending_fn.take() {
+                    let impl_type = impl_stack
+                        .last()
+                        .and_then(|(ty, _)| ty.clone())
+                        .filter(|_| {
+                            // only qualify methods whose impl block is the
+                            // *innermost* enclosing item (not a nested fn)
+                            fn_stack.is_empty()
+                                || impl_stack.last().is_some_and(|(_, d)| {
+                                    fn_stack.last().is_none_or(|(_, fd)| d > fd)
+                                })
+                        });
+                    let returns_cost_result = toks[name_idx + 1..idx]
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && t.text == "CostResult");
+                    let qname = match &impl_type {
+                        Some(ty) => format!("{ty}::{name}"),
+                        None => name.clone(),
+                    };
+                    defs.push(FnDef {
+                        name,
+                        qname,
+                        impl_type,
+                        file: file.to_string(),
+                        line: toks[name_idx].line,
+                        in_test: in_test[name_idx],
+                        returns_cost_result,
+                        sig_start: name_idx,
+                        body: (idx, idx), // end patched at the close brace
+                        calls: Vec::new(),
+                    });
+                    fn_stack.push((defs.len() - 1, brace_depth));
+                } else if let Some(impl_idx) = pending_impl.take() {
+                    impl_stack.push((impl_subject(toks, impl_idx, idx), brace_depth));
+                }
+            }
+            "}" => {
+                if let Some(&(def_idx, d)) = fn_stack.last() {
+                    if d == brace_depth {
+                        defs[def_idx].body.1 = idx;
+                        fn_stack.pop();
+                    }
+                }
+                if impl_stack.last().is_some_and(|&(_, d)| d == brace_depth) {
+                    impl_stack.pop();
+                }
+                brace_depth -= 1;
+            }
+            ";" => {
+                // `fn f();` (trait decl) — a bodyless signature cancels the
+                // pending fn; a pending impl can't be cancelled by `;`.
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        enclosing[idx] = fn_stack.last().map(|&(def_idx, _)| def_idx);
+    }
+    // Unclosed bodies (truncated fixtures) run to the end of the stream.
+    while let Some((def_idx, _)) = fn_stack.pop() {
+        defs[def_idx].body.1 = n.saturating_sub(1);
+    }
+
+    extract_calls(toks, &enclosing, &mut defs);
+    Parsed {
+        defs,
+        in_test,
+        enclosing,
+    }
+}
+
+/// After the turbofish starting at `idx` (`::` `<` … `>`), returns the
+/// index just past the closing `>`, or `idx` when no turbofish is present.
+fn skip_turbofish(toks: &[Token], idx: usize) -> usize {
+    if toks.get(idx).map(|t| t.text.as_str()) != Some(":")
+        || toks.get(idx + 1).map(|t| t.text.as_str()) != Some(":")
+        || toks.get(idx + 2).map(|t| t.text.as_str()) != Some("<")
+    {
+        return idx;
+    }
+    let mut depth = 0i32;
+    let mut j = idx + 2;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            ";" | "{" => return idx, // bail: not a turbofish after all
+            _ => {}
+        }
+        j += 1;
+    }
+    idx
+}
+
+/// Walks every token, recognizes call expressions, and attaches them to
+/// their innermost enclosing function with statement context.
+fn extract_calls(toks: &[Token], enclosing: &[Option<usize>], defs: &mut [FnDef]) {
+    // ---- statement contexts -------------------------------------------
+    // A "run" is a maximal token span between statement boundaries (`;`,
+    // `{`, `}`); within a run, calls whose parentheses sit at run-relative
+    // depth 0 inherit the run's discard context. `,` also bounds runs so
+    // struct literals and match arms never read as statements.
+    let n = toks.len();
+    let mut discard_at: Vec<Discard> = vec![Discard::No; n];
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i <= n {
+        let boundary = i == n || matches!(toks[i].text.as_str(), ";" | "{" | "}" | ",");
+        if boundary {
+            let ends_with_semi = i < n && toks[i].text == ";";
+            if ends_with_semi && start < i {
+                classify_run(toks, start, i, &mut discard_at);
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+
+    // ---- call recognition ---------------------------------------------
+    for idx in 0..n {
+        let t = &toks[idx];
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            continue;
+        }
+        let Some(def_idx) = enclosing[idx] else {
+            continue;
+        };
+        // the token after the name (turbofish tolerated) must open the
+        // argument list; `name !(…)` is a macro, not a call
+        let after = skip_turbofish(toks, idx + 1);
+        if toks.get(after).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        let prev = idx.checked_sub(1).map(|j| &toks[j]);
+        let prev2 = idx.checked_sub(2).map(|j| &toks[j]);
+        let (qual, recv) = match (
+            prev.map(|p| p.text.as_str()),
+            prev2.map(|p| p.text.as_str()),
+        ) {
+            // method call: `recv . name (`
+            (Some("."), _) => {
+                let recv = idx
+                    .checked_sub(2)
+                    .map(|j| &toks[j])
+                    .filter(|r| r.kind == TokKind::Ident)
+                    .map(|r| r.text.clone());
+                (None, recv)
+            }
+            // path call: `Seg :: name (`
+            (Some(":"), Some(":")) => {
+                let qual = idx
+                    .checked_sub(3)
+                    .map(|j| &toks[j])
+                    .filter(|q| q.kind == TokKind::Ident)
+                    .map(|q| q.text.clone());
+                (qual, None)
+            }
+            // `fn name (` is a definition, `# name` can't happen, and a
+            // preceding ident (`fn`, `mod`, …) was filtered by the keyword
+            // check on the *name*; a bare `name (` is a call
+            _ => (None, None),
+        };
+        if prev.is_some_and(|p| p.text == "fn") {
+            continue;
+        }
+        defs[def_idx].calls.push(CallSite {
+            name: t.text.clone(),
+            qual,
+            recv,
+            line: t.line,
+            discard: discard_at[idx],
+        });
+    }
+}
+
+/// Classifies one `…;`-terminated run and marks its depth-0 call-name
+/// tokens with the run's discard context.
+fn classify_run(toks: &[Token], start: usize, end: usize, discard_at: &mut [Discard]) {
+    let first = &toks[start];
+    let context = if first.kind == TokKind::Ident && first.text == "let" {
+        // `let _ = …;` — only the exact `_` pattern is a whole-value drop
+        if toks.get(start + 1).is_some_and(|t| t.text == "_")
+            && toks.get(start + 2).is_some_and(|t| t.text == "=")
+        {
+            Discard::LetUnderscore
+        } else {
+            return;
+        }
+    } else if first.kind == TokKind::Ident && is_expr_keyword(&first.text) {
+        return; // control flow, declarations, …
+    } else {
+        // bare expression statement — but an assignment (`x = f();`,
+        // `x += f();`) consumes the value, so require no top-level `=`
+        let mut depth = 0i32;
+        for t in &toks[start..end] {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "=" if depth == 0 => return,
+                _ => {}
+            }
+        }
+        Discard::Statement
+    };
+    // mark call-name idents whose `(` sits at run-relative paren depth 0
+    let mut depth = 0i32;
+    for j in start..end {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            _ if toks[j].kind == TokKind::Ident && depth == 0 => {
+                let after = skip_turbofish(toks, j + 1);
+                if toks.get(after).is_some_and(|t| t.text == "(") {
+                    discard_at[j] = context;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Parsed {
+        parse("crates/sim/src/x.rs", &lex(src))
+    }
+
+    #[test]
+    fn methods_are_qualified_by_their_impl_type() {
+        let p = parse_src(
+            "impl<P: Process> Network<P> {\n    pub fn step(&mut self) -> CostResult<u32> { self.finish() }\n}\nfn free() {}\n",
+        );
+        assert_eq!(p.defs.len(), 2);
+        assert_eq!(p.defs[0].qname, "Network::step");
+        assert!(p.defs[0].returns_cost_result);
+        assert_eq!(p.defs[1].qname, "free");
+        assert!(!p.defs[1].returns_cost_result);
+    }
+
+    #[test]
+    fn trait_impls_take_the_for_type() {
+        let p =
+            parse_src("impl Drop for WorkerPool {\n    fn drop(&mut self) { self.halt(); }\n}\n");
+        assert_eq!(p.defs[0].qname, "WorkerPool::drop");
+    }
+
+    #[test]
+    fn calls_carry_qualifier_receiver_and_context() {
+        let p = parse_src(
+            "fn f() {\n    let _ = probe();\n    net.step();\n    let x = WorkerPool::new(2);\n    take(inner());\n    self.outbox.push(1);\n}\n",
+        );
+        let calls = &p.defs[0].calls;
+        let get = |name: &str| calls.iter().find(|c| c.name == name).expect("call present");
+        assert_eq!(get("probe").discard, Discard::LetUnderscore);
+        assert_eq!(get("step").discard, Discard::Statement);
+        assert_eq!(get("new").qual.as_deref(), Some("WorkerPool"));
+        assert_eq!(get("new").discard, Discard::No);
+        assert_eq!(get("inner").discard, Discard::No, "argument position");
+        assert_eq!(get("take").discard, Discard::Statement);
+        assert_eq!(get("push").recv.as_deref(), Some("outbox"));
+    }
+
+    #[test]
+    fn assignments_and_bindings_are_not_discards() {
+        let p = parse_src(
+            "fn f() {\n    let ((r, m), _) = net.run_until_quiet(8);\n    total = accumulate();\n    let _cost = probe();\n}\n",
+        );
+        assert!(p.defs[0].calls.iter().all(|c| c.discard == Discard::No));
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let p = parse_src("fn f() {\n    parse::<u32>();\n}\n");
+        assert_eq!(p.defs[0].calls[0].name, "parse");
+        assert_eq!(p.defs[0].calls[0].discard, Discard::Statement);
+    }
+
+    #[test]
+    fn test_regions_mark_defs() {
+        let p = parse_src("#[cfg(test)]\nmod tests {\n    fn helper() { x(); }\n}\nfn prod() {}\n");
+        assert!(p.defs[0].in_test);
+        assert!(!p.defs[1].in_test);
+    }
+
+    #[test]
+    fn macros_and_struct_literals_are_not_calls_or_statements() {
+        let p = parse_src(
+            "fn f() {\n    assert!(ready());\n    let s = Foo { a: mk(), b: 1 };\n    match x { Some(v) => go(v), None => {} }\n}\n",
+        );
+        let calls = &p.defs[0].calls;
+        assert!(calls.iter().all(|c| c.name != "assert" && c.name != "Foo"));
+        assert!(
+            calls
+                .iter()
+                .all(|c| c.discard == Discard::No || c.name == "ready"),
+            "{calls:?}"
+        );
+    }
+}

@@ -1,22 +1,36 @@
-//! The rule engine: scopes, detectors, and suppression handling.
+//! The rule engine: scopes, detectors, semantic passes, and suppression
+//! handling.
 //!
-//! Each rule is a short token-pattern detector bound to a *scope* — the set
-//! of workspace paths where the determinism/accounting contract applies.
-//! Scopes are matched on forward-slash paths relative to the linted root,
-//! so the same policy drives both the real workspace and the test fixture
-//! mini-workspace.
+//! Two layers share one catalog:
 //!
-//! Test code is exempt everywhere: files named `*_tests.rs`, anything under
-//! a `tests/`, `benches/`, `examples/`, or `fixtures/` directory, and
-//! `#[test]` / `#[cfg(test)]` items inside production files (tracked by
-//! attribute + brace matching). Tests deliberately construct pathological
-//! inputs and assert on panics; the contract binds the engine, not its
-//! interrogators.
+//! - **Lexical rules** are short token-pattern detectors bound to a *scope*
+//!   — the set of workspace paths where the determinism/accounting contract
+//!   applies. Scopes are matched on forward-slash paths relative to the
+//!   linted root, so the same policy drives both the real workspace and the
+//!   test fixture mini-workspace.
+//! - **Semantic rules** run over the whole file set at once: the
+//!   [`parser`](crate::parser) recovers function definitions and call
+//!   sites, the [`callgraph`](crate::callgraph) links them, and the
+//!   determinism-taint / cost-coverage / panic-reachability passes walk the
+//!   result. A finding is still a `(rule, file, line, message)` tuple, so
+//!   suppression markers work identically for both layers.
+//!
+//! Test code (`*_tests.rs`, `tests/`, `benches/`, `examples/` trees, and
+//! `#[test]` / `#[cfg(test)]` items inside production files) is exempt from
+//! the protocol-contract rules — tests deliberately construct pathological
+//! inputs and assert on panics. It is **not** exempt from the hygiene
+//! rules: `unsafe` still needs its SAFETY comment, suppressions must still
+//! be well-formed, and an entropy-seeded RNG in a test invalidates the very
+//! reproduction the test claims to pin.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::parser::{parse, Discard, FnDef, Parsed};
+use crate::taint;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The machine name of every rule, in report order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 11] = [
     "nondeterministic-iteration",
     "wall-clock-in-protocol",
     "unseeded-rng",
@@ -24,6 +38,10 @@ pub const RULE_NAMES: [&str; 7] = [
     "panic-in-engine",
     "unsafe-without-safety-comment",
     "malformed-suppression",
+    "determinism-taint",
+    "uncharged-mutation",
+    "dropped-cost-result",
+    "panic-reachability",
 ];
 
 /// Static description of one rule (for `--format json` and the docs).
@@ -37,8 +55,8 @@ pub struct RuleInfo {
     pub guards: &'static str,
 }
 
-/// The rule catalog (see `docs/ARCHITECTURE.md` for the full contract).
-pub const RULES: [RuleInfo; 7] = [
+/// The rule catalog (see `docs/LINT.md` for the full contract).
+pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         name: "nondeterministic-iteration",
         summary: "HashMap/HashSet in protocol crates (ft-core, ft-sim, ft-graph): \
@@ -57,10 +75,10 @@ pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         name: "unseeded-rng",
         summary: "entropy-based RNG construction (thread_rng, OsRng, from_entropy, …) \
-                  in engine/adversary/campaign code: every RNG must flow from an \
-                  explicit seed",
-        guards: "seeded reproduction: one unseeded RNG in a planner invalidates every \
-                 recorded campaign",
+                  anywhere in the workspace, tests included: every RNG must flow from \
+                  an explicit seed",
+        guards: "seeded reproduction: one unseeded RNG in a planner or test \
+                 invalidates every recorded campaign",
     },
     RuleInfo {
         name: "lossy-cast-in-accounting",
@@ -71,10 +89,11 @@ pub const RULES: [RuleInfo; 7] = [
     },
     RuleInfo {
         name: "panic-in-engine",
-        summary: "unwrap/expect/panic!/indexing in Network::step*/run_until*/deliver* \
-                  hot paths: a mid-round panic tears down a sharded round and \
-                  corrupts in-flight accounting",
-        guards: "crash-consistency of the round engine's books",
+        summary: "unwrap/expect/panic!/indexing directly inside Network::step*/\
+                  run_until*/deliver*/finish_round: a mid-round panic tears down a \
+                  sharded round and corrupts in-flight accounting",
+        guards: "crash-consistency of the round engine's books (depth 0; see \
+                 panic-reachability for the transitive closure)",
     },
     RuleInfo {
         name: "unsafe-without-safety-comment",
@@ -87,6 +106,38 @@ pub const RULES: [RuleInfo; 7] = [
                   missing/empty reason string",
         guards: "suppression accountability: every exemption names its rule and its \
                  written justification",
+    },
+    RuleInfo {
+        name: "determinism-taint",
+        summary: "a protocol decision site (outbox send, edge mutation, delivery \
+                  staging) computed from values that flow — through any number of \
+                  calls — out of HashMap/HashSet iteration",
+        guards: "byte-identical replay across function boundaries: the PR 6 \
+                 stitch_components bug class, caught at the decision site with a \
+                 witness chain",
+    },
+    RuleInfo {
+        name: "uncharged-mutation",
+        summary: "a function that mutates the MsgLedger, an outbox, or the edge-churn \
+                  buffers while reachable from an entry point that never charges an \
+                  OperationCost",
+        guards: "cost-model soundness: every state mutation is priced, or reachable \
+                 only through charging wrappers",
+    },
+    RuleInfo {
+        name: "dropped-cost-result",
+        summary: "a CostResult-returning call whose cost half is discarded \
+                  (`let _ = …` or a bare statement): destructure and merge the cost",
+        guards: "cost-model completeness: a dropped OperationCost silently \
+                 under-reports the BENCH_costs baseline",
+    },
+    RuleInfo {
+        name: "panic-reachability",
+        summary: "unwrap/expect/panic-family sites in any ft-sim function reachable \
+                  from the step*/run_until*/deliver*/finish_round roots, however many \
+                  calls deep",
+        guards: "crash-consistency of the round engine's books, enforced by \
+                 call-graph closure instead of an 8-line token window",
     },
 ];
 
@@ -116,16 +167,26 @@ pub struct Suppressed {
     pub reason: String,
 }
 
-/// Result of linting one file.
+/// Result of linting one file (single-file wrapper over [`lint_files`]).
 #[derive(Clone, Debug, Default)]
 pub struct FileLint {
     /// Violations that survived suppression.
     pub violations: Vec<Finding>,
     /// Findings silenced by a well-formed `allow` marker.
     pub suppressed: Vec<Suppressed>,
-    /// `allow` markers that silenced nothing (reported, never fatal —
-    /// usually a fix made the marker stale).
+    /// `allow` markers that silenced nothing: `(rule, line)`.
     pub unused_allows: Vec<(String, u32)>,
+}
+
+/// Result of linting a whole file set (lexical + semantic passes).
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceLint {
+    /// Violations that survived suppression (sorted by file, line, rule).
+    pub violations: Vec<Finding>,
+    /// Findings silenced by a well-formed `allow` marker.
+    pub suppressed: Vec<Suppressed>,
+    /// Stale `allow` markers that silenced nothing: `(file, rule, line)`.
+    pub unused_allows: Vec<(String, String, u32)>,
 }
 
 /// A parsed `// ft-lint: allow(<rule>, "<reason>")` marker.
@@ -141,17 +202,30 @@ struct Allow {
 // Scopes
 // ---------------------------------------------------------------------
 
-/// Files that are test/bench/example code and never linted.
+/// Files the linter never reads at all: fixture mini-workspaces (linted
+/// *as* workspaces by the golden tests, not as source), build output, and
+/// vendored shims.
 pub fn is_exempt_path(path: &str) -> bool {
     let p = path.replace('\\', "/");
-    p.ends_with("_tests.rs")
-        || p.split('/').any(|seg| {
-            matches!(
-                seg,
-                "tests" | "benches" | "examples" | "fixtures" | "target" | "vendor"
-            )
-        })
+    p.split('/')
+        .any(|seg| matches!(seg, "fixtures" | "target" | "vendor" | ".git"))
 }
+
+/// Test-scope files: linted, but only by the hygiene rules in
+/// [`TEST_SCOPE_RULES`].
+pub fn is_test_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.ends_with("_tests.rs")
+        || p.split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
+/// The rules that still bind test/bench/example code.
+pub const TEST_SCOPE_RULES: [&str; 3] = [
+    "unseeded-rng",
+    "unsafe-without-safety-comment",
+    "malformed-suppression",
+];
 
 fn in_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
@@ -162,6 +236,9 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
     let p = path.replace('\\', "/");
     if is_exempt_path(&p) {
         return false;
+    }
+    if is_test_path(&p) {
+        return TEST_SCOPE_RULES.contains(&rule);
     }
     match rule {
         // Protocol state machines and the graph/topology substrate: any
@@ -174,9 +251,8 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         // Everything except the measurement crates (ft-metrics, ft-bench),
         // which legitimately time campaigns — plus the fault-survival
         // matrix, which despite living in ft-metrics must replay
-        // byte-identically and so may neither read clocks nor roll
-        // unseeded dice.
-        "wall-clock-in-protocol" | "unseeded-rng" => {
+        // byte-identically and so may not read clocks.
+        "wall-clock-in-protocol" => {
             p == "crates/metrics/src/fault_matrix.rs"
                 || in_any(
                     &p,
@@ -190,6 +266,9 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
                     ],
                 )
         }
+        // Workspace-wide, tests included: an entropy-seeded RNG anywhere
+        // breaks the "every number flows from the recorded seed" story.
+        "unseeded-rng" => true,
         // The accounting arithmetic sites whose identities the theorems
         // and the cost-model baselines cite: the message ledger, the whole
         // operation-cost crate, both stretch engines (full sweep and
@@ -203,15 +282,25 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
                 || p == "crates/metrics/src/fault_matrix.rs"
                 || in_any(&p, &["crates/costs/src"])
         }
-        // The round engine's hot paths (function scope applied separately).
-        "panic-in-engine" => p == "crates/sim/src/network.rs",
+        // The round engine and everything it can call within ft-sim.
+        "panic-in-engine" | "panic-reachability" | "uncharged-mutation" => {
+            in_any(&p, &["crates/sim/src"])
+        }
+        // Protocol decisions live in ft-core (node logic) and ft-sim (the
+        // engine); taint may *originate* anywhere the graph sees.
+        "determinism-taint" => in_any(&p, &["crates/core/src", "crates/sim/src"]),
+        // Costs may be produced anywhere; dropping one is wrong anywhere.
+        "dropped-cost-result" => true,
         "unsafe-without-safety-comment" | "malformed-suppression" => true,
         _ => false,
     }
 }
 
-/// Hot-path functions inside `network.rs` covered by `panic-in-engine`.
-fn is_engine_hot_fn(name: &str) -> bool {
+/// The round-engine root functions: `panic-in-engine` binds their direct
+/// bodies, `panic-reachability` binds their call-graph closure, and
+/// `uncharged-mutation`/`determinism-taint` treat them as the engine's
+/// entry surface.
+pub(crate) fn is_engine_hot_fn(name: &str) -> bool {
     name.starts_with("step")
         || name.starts_with("run_until")
         || name.starts_with("deliver_")
@@ -219,124 +308,7 @@ fn is_engine_hot_fn(name: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// Token-context analysis: test regions and enclosing functions
-// ---------------------------------------------------------------------
-
-/// Per-token context derived in one forward pass: whether the token sits in
-/// a `#[test]`/`#[cfg(test)]` item, and the innermost enclosing `fn` name.
-struct Ctx {
-    in_test: Vec<bool>,
-    enclosing_fn: Vec<Option<String>>,
-}
-
-fn analyze(lx: &Lexed) -> Ctx {
-    let toks = &lx.tokens;
-    let n = toks.len();
-    let mut in_test = vec![false; n];
-    let mut enclosing_fn: Vec<Option<String>> = vec![None; n];
-
-    // --- test regions: `#[...test...]` attribute gates the next item ---
-    let mut i = 0usize;
-    while i < n {
-        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
-            // scan the attribute to its matching `]`
-            let mut depth = 0i32;
-            let mut j = i + 1;
-            let mut is_test_attr = false;
-            while j < n {
-                match toks[j].text.as_str() {
-                    "[" => depth += 1,
-                    "]" => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    "test" if toks[j].kind == TokKind::Ident => is_test_attr = true,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if is_test_attr {
-                // the gated item runs to the close of its first `{…}` body
-                // or to a `;` at bracket depth 0, whichever comes first
-                let mut k = j + 1;
-                let mut depth = 0i32;
-                let mut opened = false;
-                while k < n {
-                    match toks[k].text.as_str() {
-                        "{" | "(" | "[" => {
-                            depth += 1;
-                            opened = opened || toks[k].text == "{";
-                        }
-                        "}" | ")" | "]" => {
-                            depth -= 1;
-                            if depth == 0 && opened && toks[k].text == "}" {
-                                break;
-                            }
-                        }
-                        ";" if depth == 0 => break,
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                for flag in in_test.iter_mut().take(k.min(n - 1) + 1).skip(i) {
-                    *flag = true;
-                }
-                i = k + 1;
-                continue;
-            }
-            i = j + 1;
-            continue;
-        }
-        i += 1;
-    }
-
-    // --- enclosing functions: `fn name … { body }` spans ---
-    // stack of (fn name, brace depth at its body's open)
-    let mut stack: Vec<(String, i32)> = Vec::new();
-    let mut brace_depth = 0i32;
-    let mut pending_fn: Option<String> = None;
-    for (idx, t) in toks.iter().enumerate() {
-        match t.text.as_str() {
-            "fn" if t.kind == TokKind::Ident => {
-                if let Some(name) = toks.get(idx + 1) {
-                    if name.kind == TokKind::Ident {
-                        pending_fn = Some(name.text.clone());
-                    }
-                }
-            }
-            "{" => {
-                brace_depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    stack.push((name, brace_depth));
-                }
-            }
-            "}" => {
-                if let Some((_, d)) = stack.last() {
-                    if *d == brace_depth {
-                        stack.pop();
-                    }
-                }
-                brace_depth -= 1;
-            }
-            // `fn f();` — a bodyless signature cancels the pending fn
-            ";" if brace_depth == 0 || stack.last().is_none_or(|(_, d)| *d < brace_depth) => {
-                pending_fn = None;
-            }
-            _ => {}
-        }
-        enclosing_fn[idx] = stack.last().map(|(name, _)| name.clone());
-    }
-
-    Ctx {
-        in_test,
-        enclosing_fn,
-    }
-}
-
-// ---------------------------------------------------------------------
-// Detectors
+// Lexical detectors
 // ---------------------------------------------------------------------
 
 const NUMERIC_TYPES: [&str; 14] = [
@@ -357,9 +329,9 @@ fn is_ident(t: &Token, s: &str) -> bool {
     t.kind == TokKind::Ident && t.text == s
 }
 
-/// Runs every applicable detector over the token stream, producing raw
+/// Runs every applicable per-token detector over the stream, producing raw
 /// findings (suppression is applied by the caller).
-fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
+fn detect_lexical(path: &str, lx: &Lexed, parsed: &Parsed) -> Vec<Finding> {
     let toks = &lx.tokens;
     let mut out = Vec::new();
     let mut push = |rule: &'static str, line: u32, message: String| {
@@ -379,13 +351,18 @@ fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
     let safety = rule_applies("unsafe-without-safety-comment", path);
 
     for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] {
-            continue;
-        }
+        // `#[test]`/`#[cfg(test)]` items are exempt from the protocol
+        // rules but NOT from the hygiene rules (rng, unsafe), which keep
+        // checking below this gate.
+        let in_test = parsed.in_test[i];
         let prev = i.checked_sub(1).map(|j| &toks[j]);
         let next = toks.get(i + 1);
 
-        if iteration && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+        if iteration
+            && !in_test
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
             push(
                 "nondeterministic-iteration",
                 t.line,
@@ -398,7 +375,10 @@ fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
             );
         }
 
-        if wall_clock && t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime")
+        if wall_clock
+            && !in_test
+            && t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
         {
             push(
                 "wall-clock-in-protocol",
@@ -416,15 +396,15 @@ fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
                 "unseeded-rng",
                 t.line,
                 format!(
-                    "{}: RNGs in engine/adversary/campaign code must be constructed \
-                     from an explicit seed (StdRng::seed_from_u64) that appears in \
-                     the campaign record",
+                    "{}: RNGs must be constructed from an explicit seed \
+                     (StdRng::seed_from_u64) that appears in the campaign record — \
+                     in tests too, or the reproduction the test pins is a lie",
                     t.text
                 ),
             );
         }
 
-        if cast && is_ident(t, "as") {
+        if cast && !in_test && is_ident(t, "as") {
             if let Some(ty) = next {
                 if ty.kind == TokKind::Ident && NUMERIC_TYPES.contains(&ty.text.as_str()) {
                     push(
@@ -441,8 +421,10 @@ fn detect(path: &str, lx: &Lexed, ctx: &Ctx) -> Vec<Finding> {
             }
         }
 
-        if engine {
-            let hot = ctx.enclosing_fn[i].as_deref().is_some_and(is_engine_hot_fn);
+        if engine && !in_test {
+            let hot = parsed.enclosing[i]
+                .map(|d| parsed.defs[d].name.as_str())
+                .is_some_and(is_engine_hot_fn);
             if hot {
                 // .unwrap( / .expect(
                 if t.kind == TokKind::Ident
@@ -528,6 +510,270 @@ fn has_safety_comment(comments: &[Comment], line: u32) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// Semantic pass: call-graph rules
+// ---------------------------------------------------------------------
+
+/// One linted file with its lex/parse artifacts, fed to the semantic pass.
+struct Unit {
+    path: String,
+    lx: Lexed,
+    parsed: Parsed,
+}
+
+/// Per-definition facts the semantic rules consume, derived from the
+/// definition's token range (signature through closing brace).
+#[derive(Clone, Debug, Default)]
+struct DefAttrs {
+    /// The definition charges costs: returns a `CostResult`, names
+    /// `OperationCost`, or bumps a `cost`/`costs` counter with `+=`.
+    charging: bool,
+    /// Hash-container type names the definition mentions.
+    containers: Vec<&'static str>,
+    /// Panic-family sites: `.unwrap()`, `.expect(…)`, `panic!`-family
+    /// macros (indexing stays a depth-0 `panic-in-engine` concern — slot
+    /// invariants are per-callsite, not transitive).
+    panic_sites: Vec<(u32, String)>,
+}
+
+fn def_attrs(lx: &Lexed, def: &FnDef) -> DefAttrs {
+    let toks = &lx.tokens;
+    let mut a = DefAttrs {
+        charging: def.returns_cost_result,
+        ..DefAttrs::default()
+    };
+    let hi = def.body.1.min(toks.len().saturating_sub(1));
+    for i in def.sig_start..=hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        match t.text.as_str() {
+            "OperationCost" => a.charging = true,
+            "HashMap" | "HashSet" => {
+                let name = if t.text == "HashMap" {
+                    "HashMap"
+                } else {
+                    "HashSet"
+                };
+                if !a.containers.contains(&name) {
+                    a.containers.push(name);
+                }
+            }
+            // `costs.field += …` / `cost += …` — the engine's charging idiom
+            "cost" | "costs" => {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.text == ".")
+                    && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    j += 2;
+                }
+                if toks.get(j).is_some_and(|t| t.text == "+")
+                    && toks.get(j + 1).is_some_and(|t| t.text == "=")
+                {
+                    a.charging = true;
+                }
+            }
+            "unwrap" | "expect"
+                if i > def.sig_start
+                    && toks[i - 1].text == "."
+                    && next.is_some_and(|n| n.text == "(") =>
+            {
+                a.panic_sites.push((t.line, format!(".{}()", t.text)));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next.is_some_and(|n| n.text == "!") =>
+            {
+                a.panic_sites.push((t.line, format!("{}!", t.text)));
+            }
+            _ => {}
+        }
+    }
+    a
+}
+
+/// `MsgLedger` mutators: calling one of these records message/churn state.
+const LEDGER_MUTATORS: [&str; 9] = [
+    "record_sent",
+    "record_dropped",
+    "record_lost",
+    "record_duplicated",
+    "record_delayed",
+    "record_delivery",
+    "record_notice",
+    "record_join",
+    "reset_node",
+];
+
+/// Staged-delivery buffers: a `.push`/`.extend`/`.append` on one of these
+/// receivers mutates what the round will deliver or rewire.
+const STAGING_BUFFERS: [&str; 4] = ["outbox", "edge_adds", "edge_drops", "delayed"];
+
+/// The mutation sites inside `def`: `(line, description)` pairs.
+fn mutation_sites(def: &FnDef) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for c in &def.calls {
+        if LEDGER_MUTATORS.contains(&c.name.as_str()) {
+            out.push((c.line, format!("`{}(…)`", c.name)));
+        } else if matches!(c.name.as_str(), "push" | "extend" | "append")
+            && c.recv
+                .as_deref()
+                .is_some_and(|r| STAGING_BUFFERS.contains(&r))
+        {
+            out.push((
+                c.line,
+                format!("`{}.{}(…)`", c.recv.as_deref().unwrap_or(""), c.name),
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the four call-graph rules over the whole file set.
+fn detect_semantic(units: &[Unit]) -> Vec<Finding> {
+    let graph = CallGraph::build(units.iter().map(|u| &u.parsed), |f| !is_test_path(f));
+    // node attributes, re-keyed after the graph's deterministic sort
+    let mut by_key: BTreeMap<(&str, u32, &str), DefAttrs> = BTreeMap::new();
+    for u in units {
+        for d in &u.parsed.defs {
+            if !d.in_test {
+                by_key.insert(
+                    (d.file.as_str(), d.line, d.qname.as_str()),
+                    def_attrs(&u.lx, d),
+                );
+            }
+        }
+    }
+    let attrs: Vec<DefAttrs> = graph
+        .defs
+        .iter()
+        .map(|d| {
+            by_key
+                .remove(&(d.file.as_str(), d.line, d.qname.as_str()))
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+
+    // --- determinism-taint: hash-order sources → callers → decision sites
+    let mentions: BTreeMap<usize, Vec<&str>> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i, a.containers.clone()))
+        .collect();
+    out.extend(taint::detect_taint(&graph, &mentions, |f| {
+        rule_applies("determinism-taint", f)
+    }));
+
+    // --- uncharged-mutation: BFS from never-charging entry points; a
+    // mutation site is covered only when every path to it passes a
+    // charging wrapper (CostResult signature / OperationCost / `cost +=`)
+    let in_domain =
+        |i: usize, graph: &CallGraph| rule_applies("uncharged-mutation", &graph.defs[i].file);
+    let entries: Vec<usize> = (0..graph.defs.len())
+        .filter(|&i| {
+            in_domain(i, &graph)
+                && !attrs[i].charging
+                && !graph.callers[i].iter().any(|&c| in_domain(c, &graph))
+        })
+        .collect();
+    let uncovered = graph.closure(&entries, &graph.edges, |i| {
+        in_domain(i, &graph) && !attrs[i].charging
+    });
+    for &i in uncovered.keys() {
+        if !in_domain(i, &graph) || attrs[i].charging {
+            continue;
+        }
+        let sites = mutation_sites(&graph.defs[i]);
+        if sites.is_empty() {
+            continue;
+        }
+        let chain = graph.witness(&uncovered, i);
+        for (line, site) in sites {
+            out.push(Finding {
+                rule: "uncharged-mutation",
+                file: graph.defs[i].file.clone(),
+                line,
+                message: format!(
+                    "{site} in `{}` mutates ledger/outbox/edge state on an uncharged \
+                     path ({chain}): no function along it returns a CostResult, \
+                     names an OperationCost, or bumps a cost counter — charge the \
+                     mutation or reach it only through charging wrappers",
+                    graph.defs[i].qname,
+                ),
+            });
+        }
+    }
+
+    // --- dropped-cost-result: a CostResult-returning call whose value is
+    // `let _ = …` or a bare statement drops the cost half on the floor
+    let cost_fns: BTreeSet<&str> = graph
+        .defs
+        .iter()
+        .filter(|d| d.returns_cost_result)
+        .map(|d| d.name.as_str())
+        .collect();
+    for def in &graph.defs {
+        if !rule_applies("dropped-cost-result", &def.file) {
+            continue;
+        }
+        for c in &def.calls {
+            if c.discard == Discard::No || !cost_fns.contains(c.name.as_str()) {
+                continue;
+            }
+            let how = match c.discard {
+                Discard::LetUnderscore => "`let _ = …`",
+                Discard::Statement => "an ignored return",
+                Discard::No => unreachable!(),
+            };
+            out.push(Finding {
+                rule: "dropped-cost-result",
+                file: def.file.clone(),
+                line: c.line,
+                message: format!(
+                    "the OperationCost returned by `{}(…)` is dropped via {how} in \
+                     `{}`: destructure the CostResult (`let (value, cost) = …`) and \
+                     merge or report the cost",
+                    c.name, def.qname,
+                ),
+            });
+        }
+    }
+
+    // --- panic-reachability: closure from the engine roots; depth-0 sites
+    // belong to panic-in-engine, everything deeper is reported here
+    let in_sim =
+        |i: usize, graph: &CallGraph| rule_applies("panic-reachability", &graph.defs[i].file);
+    let roots: Vec<usize> = (0..graph.defs.len())
+        .filter(|&i| in_sim(i, &graph) && is_engine_hot_fn(&graph.defs[i].name))
+        .collect();
+    let reach = graph.closure(&roots, &graph.edges, |i| in_sim(i, &graph));
+    for &i in reach.keys() {
+        if !in_sim(i, &graph) || is_engine_hot_fn(&graph.defs[i].name) {
+            continue;
+        }
+        for (line, site) in &attrs[i].panic_sites {
+            let chain = graph.witness(&reach, i);
+            out.push(Finding {
+                rule: "panic-reachability",
+                file: graph.defs[i].file.clone(),
+                line: *line,
+                message: format!(
+                    "{site} in `{}` is reachable from a round-engine root \
+                     ({chain}): a panic below the shard barrier leaves charges \
+                     half-applied — bubble an error, or prove the invariant and \
+                     suppress with the proof as the reason",
+                    graph.defs[i].qname,
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------
 
@@ -599,48 +845,86 @@ fn parse_allows(comments: &[Comment], path: &str) -> (Vec<Allow>, Vec<Finding>) 
     (allows, bad)
 }
 
-/// Lints one file's source. `path` is the workspace-relative path used for
-/// scope decisions and reporting.
-pub fn lint_source(path: &str, src: &str) -> FileLint {
-    let path = path.replace('\\', "/");
-    let mut out = FileLint::default();
-    if is_exempt_path(&path) {
-        return out;
-    }
-    let lx = lex(src);
-    let ctx = analyze(&lx);
-    let findings = detect(&path, &lx, &ctx);
-    let (mut allows, malformed) = parse_allows(&lx.comments, &path);
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
 
+/// Lints a whole file set: the lexical detectors per file, then the
+/// call-graph rules across all of them, then suppression. `inputs` are
+/// `(workspace-relative path, source)` pairs; exempt paths are skipped.
+pub fn lint_files(inputs: &[(String, String)]) -> WorkspaceLint {
+    let units: Vec<Unit> = inputs
+        .iter()
+        .filter(|(p, _)| !is_exempt_path(p))
+        .map(|(p, s)| {
+            let path = p.replace('\\', "/");
+            let lx = lex(s);
+            let parsed = parse(&path, &lx);
+            Unit { path, lx, parsed }
+        })
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut malformed: Vec<Finding> = Vec::new();
+    let mut allows_by_file: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    for u in &units {
+        findings.extend(detect_lexical(&u.path, &u.lx, &u.parsed));
+        let (allows, bad) = parse_allows(&u.lx.comments, &u.path);
+        malformed.extend(bad);
+        allows_by_file.insert(u.path.clone(), allows);
+    }
+    findings.extend(detect_semantic(&units));
+
+    let mut wl = WorkspaceLint::default();
     for f in findings {
         // a marker covers findings on its own line (trailing comment) and
         // on the line directly below it (standalone comment above the code)
-        let hit = allows
-            .iter_mut()
-            .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        let hit = allows_by_file.get_mut(&f.file).and_then(|al| {
+            al.iter_mut()
+                .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        });
         match hit {
             Some(a) => {
                 a.used = true;
-                out.suppressed.push(Suppressed {
+                wl.suppressed.push(Suppressed {
                     rule: f.rule,
                     file: f.file,
                     line: f.line,
                     reason: a.reason.clone(),
                 });
             }
-            None => out.violations.push(f),
+            None => wl.violations.push(f),
         }
     }
-    out.violations.extend(malformed);
-    out.unused_allows.extend(
-        allows
-            .iter()
-            .filter(|a| !a.used)
-            .map(|a| (a.rule.clone(), a.line)),
-    );
-    out.violations
-        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    wl.violations.extend(malformed);
+    for (file, allows) in &allows_by_file {
+        for a in allows.iter().filter(|a| !a.used) {
+            wl.unused_allows
+                .push((file.clone(), a.rule.clone(), a.line));
+        }
+    }
+    wl.violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    wl.suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    wl.unused_allows.sort();
+    wl
+}
+
+/// Lints one file's source. `path` is the workspace-relative path used for
+/// scope decisions and reporting. Semantic rules see only this one file,
+/// so cross-file taint/reachability needs [`lint_files`].
+pub fn lint_source(path: &str, src: &str) -> FileLint {
+    let wl = lint_files(&[(path.to_string(), src.to_string())]);
+    FileLint {
+        violations: wl.violations,
+        suppressed: wl.suppressed,
+        unused_allows: wl
+            .unused_allows
+            .into_iter()
+            .map(|(_, rule, line)| (rule, line))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -734,5 +1018,104 @@ mod tests {
         let src = "// HashMap, Instant, thread_rng — all prose\nfn f() { let _ = \"HashMap Instant thread_rng\"; }\n";
         let hits = lint_source("crates/sim/src/engine.rs", src);
         assert!(hits.violations.is_empty(), "{:?}", hits.violations);
+    }
+
+    #[test]
+    fn test_scope_files_keep_the_hygiene_rules_only() {
+        let src = "use std::collections::HashMap;\nfn t() { let r = rand::thread_rng(); let m: HashMap<u32, u32> = HashMap::new(); drop((r, m)); }\n";
+        let hits = lint_source("crates/sim/tests/soak.rs", src);
+        assert_eq!(hits.violations.len(), 1, "{:?}", hits.violations);
+        assert_eq!(hits.violations[0].rule, "unseeded-rng");
+    }
+
+    #[test]
+    fn uncharged_mutation_flags_entry_paths_without_costs() {
+        let src = "\
+pub fn forget(ledger: &mut Ledger) {
+    ledger.record_sent(3);
+}
+";
+        let hits = lint_source("crates/sim/src/books.rs", src);
+        assert_eq!(hits.violations.len(), 1, "{:?}", hits.violations);
+        assert_eq!(hits.violations[0].rule, "uncharged-mutation");
+        assert_eq!(hits.violations[0].line, 2);
+    }
+
+    #[test]
+    fn charging_wrappers_cover_their_callees() {
+        let src = "\
+use ft_costs::{CostResult, OperationCost};
+pub fn charged(ledger: &mut Ledger) -> CostResult<()> {
+    stage(ledger);
+    ((), OperationCost::default())
+}
+fn stage(ledger: &mut Ledger) {
+    ledger.record_sent(1);
+}
+";
+        let hits = lint_source("crates/sim/src/books.rs", src);
+        assert!(
+            !hits
+                .violations
+                .iter()
+                .any(|v| v.rule == "uncharged-mutation"),
+            "{:?}",
+            hits.violations
+        );
+    }
+
+    #[test]
+    fn dropped_cost_result_flags_both_discard_shapes() {
+        let src = "\
+pub fn probe(x: u64) -> CostResult<u64> {
+    (x, OperationCost::default())
+}
+pub fn a(x: u64) {
+    let _ = probe(x);
+}
+pub fn b(x: u64) {
+    probe(x);
+}
+pub fn c(x: u64) -> u64 {
+    let (v, _cost) = probe(x);
+    v
+}
+";
+        let hits = lint_source("crates/metrics/src/probe.rs", src);
+        let dropped: Vec<_> = hits
+            .violations
+            .iter()
+            .filter(|v| v.rule == "dropped-cost-result")
+            .collect();
+        assert_eq!(dropped.len(), 2, "{:?}", hits.violations);
+        assert_eq!(dropped[0].line, 5);
+        assert_eq!(dropped[1].line, 8);
+    }
+
+    #[test]
+    fn panic_reachability_sees_below_the_roots() {
+        let src = "\
+pub fn step(&mut self) {
+    middle(1);
+}
+fn middle(x: u32) -> u32 {
+    bottom(x)
+}
+fn bottom(x: u32) -> u32 {
+    Some(x).unwrap()
+}
+fn unrelated(x: u32) -> u32 {
+    Some(x).unwrap()
+}
+";
+        let hits = lint_source("crates/sim/src/helpers.rs", src);
+        let reach: Vec<_> = hits
+            .violations
+            .iter()
+            .filter(|v| v.rule == "panic-reachability")
+            .collect();
+        assert_eq!(reach.len(), 1, "{:?}", hits.violations);
+        assert_eq!(reach[0].line, 8);
+        assert!(reach[0].message.contains("step → middle → bottom"));
     }
 }

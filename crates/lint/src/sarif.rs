@@ -1,0 +1,155 @@
+//! SARIF 2.1.0 emission — hand-rolled, like the JSON report, because the
+//! linter is dependency-free by design.
+//!
+//! The emitter produces one `run` with the full rule catalog in the tool
+//! driver (so viewers can show summaries/help inline), every surviving
+//! violation as an `error`-level result, and every stale `allow` marker as
+//! a `note`-level result against the synthetic `stale-suppression` rule id.
+//! Output is byte-identical across runs on the same tree: inputs arrive
+//! pre-sorted from [`lint_files`](crate::rules::lint_files) and the
+//! emitter adds no timestamps, hashes, or absolute paths.
+
+use crate::json_str;
+use crate::rules::{RULES, RULE_NAMES};
+use crate::Report;
+
+/// Index of `rule` in the catalog (every `Finding.rule` is one of
+/// [`RULE_NAMES`], so the fallback is unreachable in practice).
+fn rule_index(rule: &str) -> usize {
+    RULE_NAMES.iter().position(|r| *r == rule).unwrap_or(0)
+}
+
+/// Renders the report as a SARIF 2.1.0 log (stable key and array order).
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"ft-lint\",\n");
+    s.push_str("          \"informationUri\": \"docs/LINT.md\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"help\": {{\"text\": {}}}}}{}\n",
+            json_str(r.name),
+            json_str(r.summary),
+            json_str(r.guards),
+            comma(i, RULES.len())
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let total = report.violations.len() + report.unused_allows.len();
+    let mut emitted = 0usize;
+    for v in &report.violations {
+        s.push_str(&result(
+            v.rule,
+            Some(rule_index(v.rule)),
+            "error",
+            &v.message,
+            &v.file,
+            v.line,
+        ));
+        emitted += 1;
+        s.push_str(comma_line(emitted, total));
+    }
+    for (file, rule, line) in &report.unused_allows {
+        s.push_str(&result(
+            "stale-suppression",
+            None,
+            "note",
+            &format!("unused ft-lint allow({rule}) — the marker is stale"),
+            file,
+            *line,
+        ));
+        emitted += 1;
+        s.push_str(comma_line(emitted, total));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+fn result(
+    rule_id: &str,
+    rule_index: Option<usize>,
+    level: &str,
+    message: &str,
+    file: &str,
+    line: u32,
+) -> String {
+    let index = rule_index
+        .map(|i| format!("\"ruleIndex\": {i}, "))
+        .unwrap_or_default();
+    format!(
+        "        {{\"ruleId\": {}, {}\"level\": {}, \"message\": {{\"text\": {}}}, \
+         \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+         {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+        json_str(rule_id),
+        index,
+        json_str(level),
+        json_str(message),
+        json_str(file),
+        line,
+    )
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+fn comma_line(emitted: usize, total: usize) -> &'static str {
+    if emitted == total {
+        "\n"
+    } else {
+        ",\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn sarif_log_carries_catalog_and_results() {
+        let report = Report {
+            violations: vec![Finding {
+                rule: "unseeded-rng",
+                file: "crates/sim/src/x.rs".to_string(),
+                line: 7,
+                message: "thread_rng: …".to_string(),
+            }],
+            unused_allows: vec![(
+                "crates/sim/src/y.rs".to_string(),
+                "unseeded-rng".to_string(),
+                3,
+            )],
+            ..Report::default()
+        };
+        let sarif = to_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(
+            sarif.contains("\"id\": \"determinism-taint\""),
+            "catalog present"
+        );
+        assert!(sarif.contains("\"ruleId\": \"unseeded-rng\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("\"ruleId\": \"stale-suppression\""));
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(!sarif.contains("\\\\"), "forward-slash relative paths only");
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let a = to_sarif(&Report::default());
+        let b = to_sarif(&Report::default());
+        assert_eq!(a, b);
+        assert!(a.contains("\"results\": [\n      ]"));
+    }
+}

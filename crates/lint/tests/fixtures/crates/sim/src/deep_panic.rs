@@ -1,0 +1,13 @@
+//! Seeded violation: a panic two frames below a round-engine root.
+
+pub fn step_fixture(x: u32) -> u32 {
+    middle(x)
+}
+
+fn middle(x: u32) -> u32 {
+    bottom(x)
+}
+
+fn bottom(x: u32) -> u32 {
+    Some(x).unwrap()
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: the cost half of a CostResult dropped on the floor.
+
+pub fn probe(x: u64) -> CostResult<u64> {
+    (x, OperationCost::default())
+}
+
+pub fn spend(x: u64) {
+    let _ = probe(x);
+}

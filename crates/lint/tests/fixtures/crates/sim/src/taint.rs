@@ -1,0 +1,15 @@
+//! Seeded violation: hash-order values reach a protocol send two hops up.
+
+fn leaf(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+fn mid(m: &Table) -> Vec<u32> {
+    leaf(m)
+}
+
+pub fn top(m: &Table, ctx: &mut Ctx) {
+    for k in mid(m) {
+        ctx.send(k);
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: a ledger mutation on a path that never charges.
+
+pub fn forget_the_books(ledger: &mut MsgLedger) {
+    ledger.record_sent(3);
+}

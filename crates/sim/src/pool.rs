@@ -65,6 +65,7 @@ impl WorkerPool {
                             job();
                         }
                     })
+                    // ft-lint: allow(panic-reachability, "pool construction runs before any round work: no charges are in flight, and a host that cannot spawn threads must abort the run")
                     .expect("spawn ft-sim worker");
                 Worker { tx, handle }
             })
@@ -118,11 +119,13 @@ impl WorkerPool {
             // identical for both lifetimes.
             let wrapped: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped) };
+            // ft-lint: allow(panic-reachability, "workers live for the pool's lifetime and exit only when the pool drops the sender; a dead worker mid-round is harness corruption, not protocol state")
             worker.tx.send(wrapped).expect("worker thread alive");
         }
         let my_outcome = catch_unwind(AssertUnwindSafe(mine));
         let mut first_panic = None;
         for _ in 0..dispatched {
+            // ft-lint: allow(panic-reachability, "every dispatched job signals the barrier even on panic (catch_unwind in the wrapper), so recv fails only if the harness itself was torn down")
             match self.done_rx.recv().expect("completion signal") {
                 Ok(()) => {}
                 Err(payload) => {
