@@ -17,6 +17,97 @@
 use crate::parser::{FnDef, Parsed};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Qualifier types known to live outside the workspace (std / vendored
+/// deps). A qualified call on one of these that matches no workspace impl
+/// resolves to **nothing** instead of falling back to every same-name
+/// definition — `VecDeque::new()` must not manufacture edges to each
+/// workspace `fn new`.
+const EXTERNAL_TYPES: [&str; 36] = [
+    "Arc",
+    "AtomicBool",
+    "AtomicU64",
+    "AtomicUsize",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "Cell",
+    "Condvar",
+    "Cow",
+    "Duration",
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "Mutex",
+    "Option",
+    "Ordering",
+    "OsString",
+    "Path",
+    "PathBuf",
+    "Rc",
+    "RefCell",
+    "Result",
+    "RwLock",
+    "String",
+    "Vec",
+    "VecDeque",
+    "char",
+    "f64",
+    "str",
+    "u16",
+    "u32",
+    "u64",
+    "u8",
+    "usize",
+];
+
+/// Method names the precision-sensitive analyses treat as std-container
+/// operations when called through a receiver (`seen.insert(v)`): the
+/// name-resolution fallback would otherwise ride them onto every
+/// workspace `insert`/`remove`/…. A workspace method sharing one of these
+/// names is still analyzed when its effects are lexical or reached
+/// through a non-ambiguous name; the residual blind spot — a dotted call
+/// to it — is the documented noise-for-recall trade.
+pub const STD_CONTAINER_METHODS: [&str; 16] = [
+    "append",
+    "clear",
+    "contains",
+    "contains_key",
+    "drain",
+    "entry",
+    "extend",
+    "get",
+    "insert",
+    "is_empty",
+    "len",
+    "pop",
+    "push",
+    "remove",
+    "retain",
+    "take",
+];
+
+/// Whether `file` belongs to a crate whose code can sit on a real call
+/// chain to engine state (the simulator itself, the stretch metrics that
+/// drive it, and the core healer it dispatches into). The shard-isolation
+/// walk and the effects-baseline inference confine propagation here:
+/// chains detouring through the pure graph crate or the baselines trait
+/// re-enter the engine only via same-name aliasing.
+pub fn engine_crate(file: &str) -> bool {
+    ["crates/sim/src", "crates/metrics/src", "crates/core/src"]
+        .iter()
+        .any(|p| file.contains(p))
+}
+
+/// Whether call `c` in `toks` is a dotted std-container method call (see
+/// [`STD_CONTAINER_METHODS`]) — dropped by [`CallGraph::analysis_edges`].
+pub fn std_container_call(toks: &[crate::lexer::Token], c: &crate::parser::CallSite) -> bool {
+    c.qual.is_none()
+        && STD_CONTAINER_METHODS.contains(&c.name.as_str())
+        && c.tok > 0
+        && toks[c.tok - 1].text == "."
+}
+
 /// The workspace call graph over non-test function definitions.
 #[derive(Clone, Debug, Default)]
 pub struct CallGraph {
@@ -50,45 +141,79 @@ impl CallGraph {
             by_name.entry(d.name.clone()).or_default().push(i);
         }
 
-        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); defs.len()];
-        let mut callers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); defs.len()];
-        for caller in 0..defs.len() {
-            for call in &defs[caller].calls {
-                let qual = match call.qual.as_deref() {
-                    Some("Self") => defs[caller].impl_type.clone(),
-                    other => other.map(str::to_string),
-                };
-                let candidates = by_name.get(&call.name).cloned().unwrap_or_default();
-                // path-qualified calls narrow to the matching impl type
-                // when any definition matches; otherwise keep every
-                // same-name candidate (conservative)
-                let narrowed: Vec<usize> = match &qual {
-                    Some(ty) => {
-                        let exact: Vec<usize> = candidates
-                            .iter()
-                            .copied()
-                            .filter(|&i| defs[i].impl_type.as_deref() == Some(ty))
-                            .collect();
-                        if exact.is_empty() {
-                            candidates
-                        } else {
-                            exact
-                        }
-                    }
-                    None => candidates,
-                };
-                for callee in narrowed {
-                    edges[caller].insert(callee);
-                    callers[callee].insert(caller);
+        let mut graph = CallGraph {
+            edges: vec![BTreeSet::new(); defs.len()],
+            callers: vec![BTreeSet::new(); defs.len()],
+            defs,
+            by_name,
+        };
+        for caller in 0..graph.defs.len() {
+            for ci in 0..graph.defs[caller].calls.len() {
+                let call = graph.defs[caller].calls[ci].clone();
+                for callee in graph.resolve(caller, &call) {
+                    graph.edges[caller].insert(callee);
+                    graph.callers[callee].insert(caller);
                 }
             }
         }
-        CallGraph {
-            defs,
-            edges,
-            callers,
-            by_name,
+        graph
+    }
+
+    /// Name-resolves one call site from `caller`'s context to every node it
+    /// could mean. Path-qualified calls narrow to the matching impl type
+    /// when any definition matches (`Self::` resolves against the caller's
+    /// own impl block); an unmatched qualifier keeps every same-name
+    /// candidate (conservative) — unless it names a known-external type
+    /// (`VecDeque::new` is std's constructor, not every workspace `new`;
+    /// without this cut one std call makes the whole workspace reachable).
+    pub fn resolve(&self, caller: usize, call: &crate::parser::CallSite) -> Vec<usize> {
+        let qual = match call.qual.as_deref() {
+            Some("Self") => self.defs[caller].impl_type.clone(),
+            other => other.map(str::to_string),
+        };
+        let candidates = self.by_name.get(&call.name).cloned().unwrap_or_default();
+        match &qual {
+            Some(ty) => {
+                let exact: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.defs[i].impl_type.as_deref() == Some(ty))
+                    .collect();
+                if !exact.is_empty() {
+                    exact
+                } else if EXTERNAL_TYPES.contains(&ty.as_str()) {
+                    Vec::new()
+                } else {
+                    candidates
+                }
+            }
+            None => candidates,
         }
+    }
+
+    /// Resolution edges for the effect and shard-isolation analyses:
+    /// [`edges`](Self::edges) minus dotted std-container calls
+    /// ([`std_container_call`]) — `seen.insert(v)` must not alias a
+    /// workspace `insert` and pull the whole engine into a transitive
+    /// write set. `files` maps path → lex artifacts so call sites can be
+    /// re-examined; a def whose file is absent keeps all its edges.
+    pub fn analysis_edges(
+        &self,
+        files: &BTreeMap<&str, &crate::lexer::Lexed>,
+    ) -> Vec<BTreeSet<usize>> {
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.defs.len()];
+        for (i, d) in self.defs.iter().enumerate() {
+            let toks = files.get(d.file.as_str()).map(|lx| lx.tokens.as_slice());
+            for c in &d.calls {
+                if toks.is_some_and(|t| std_container_call(t, c)) {
+                    continue;
+                }
+                for callee in self.resolve(i, c) {
+                    adj[i].insert(callee);
+                }
+            }
+        }
+        adj
     }
 
     /// Node ids of every definition satisfying `pred`, ascending.
@@ -196,6 +321,25 @@ mod tests {
         let net_new = g.select(|d| d.qname == "Net::new")[0];
         assert!(g.edges[f].contains(&pool_new));
         assert!(!g.edges[f].contains(&net_new), "qualifier narrows the edge");
+    }
+
+    #[test]
+    fn external_qualifiers_resolve_to_no_workspace_def() {
+        let g = graph(&[(
+            "crates/sim/src/a.rs",
+            "impl Pool { pub fn new() {} }\nfn f() { let q = VecDeque::new(); }\nfn g() { Unknown::new(); }\n",
+        )]);
+        let f = g.select(|d| d.name == "f")[0];
+        let gfn = g.select(|d| d.name == "g")[0];
+        let pool_new = g.select(|d| d.qname == "Pool::new")[0];
+        assert!(
+            !g.edges[f].contains(&pool_new),
+            "std VecDeque::new must not alias Pool::new"
+        );
+        assert!(
+            g.edges[gfn].contains(&pool_new),
+            "unknown qualifiers stay conservative"
+        );
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! the contract into CI-red rules over the source itself — an offline,
 //! dependency-free pass built from a small hand-rolled lexer ([`lexer`]),
 //! a shape-only recursive-descent parser ([`parser`]), a deterministic
-//! workspace call graph ([`callgraph`]), and an eleven-rule engine
-//! ([`rules`]): seven per-token pattern rules plus four cross-function
+//! workspace call graph ([`callgraph`]), and a fourteen-rule engine
+//! ([`rules`]): seven per-token pattern rules plus seven cross-function
 //! semantic rules (determinism taint propagation ([`taint`]), cost-charge
-//! coverage, dropped-`CostResult` discipline, and panic reachability from
-//! the round-engine roots).
+//! coverage, dropped-`CostResult` discipline, panic reachability from
+//! the round-engine roots, shard-isolation race detection for worker
+//! closures ([`parallel`]), ledger book-coupling, and hot-path
+//! effect-baseline drift ([`effects`])).
 //!
 //! The rule catalog lives in [`RULES`]; the paths each rule binds are in
 //! [`rules::rule_applies`]; the suppression grammar is
@@ -35,13 +37,17 @@
 //! ```
 
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
+pub mod parallel;
 pub mod parser;
 pub mod rules;
 pub mod sarif;
 pub mod taint;
 
-pub use rules::{lint_files, lint_source, Finding, Suppressed, WorkspaceLint, RULES, RULE_NAMES};
+pub use rules::{
+    lint_files, lint_files_with, lint_source, Finding, Suppressed, WorkspaceLint, RULES, RULE_NAMES,
+};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -213,13 +219,12 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under `root`'s `src/`, `crates/`, `tests/`,
-/// `examples/`, and `benches/` trees (vendored and fixture code excluded
-/// by policy; test-scope files get the hygiene rules only).
-///
-/// `root` is a workspace root — the real repository or a fixture
-/// mini-workspace; reported paths are relative to it.
-pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+/// Workspace-relative location of the committed effect table, under both
+/// the real root and fixture mini-workspaces.
+pub const EFFECTS_BASELINE_PATH: &str = "crates/lint/effects_baseline.json";
+
+/// Collects the lintable `(relative path, source)` pairs under `root`.
+fn collect_inputs(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for top in ["src", "crates", "tests", "examples", "benches"] {
         let dir = root.join(top);
@@ -239,7 +244,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         }
         inputs.push((rel, std::fs::read_to_string(&path)?));
     }
-    let wl = lint_files(&inputs);
+    Ok(inputs)
+}
+
+/// Lints every `.rs` file under `root`'s `src/`, `crates/`, `tests/`,
+/// `examples/`, and `benches/` trees (vendored and fixture code excluded
+/// by policy; test-scope files get the hygiene rules only). When the root
+/// carries a committed [`EFFECTS_BASELINE_PATH`], the drift rule runs
+/// against it.
+///
+/// `root` is a workspace root — the real repository or a fixture
+/// mini-workspace; reported paths are relative to it.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let inputs = collect_inputs(root)?;
+    let baseline = std::fs::read_to_string(root.join(EFFECTS_BASELINE_PATH)).ok();
+    let wl = lint_files_with(&inputs, baseline.as_deref());
     Ok(Report {
         violations: wl.violations,
         suppressed: wl.suppressed,
@@ -248,14 +267,49 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     })
 }
 
+/// Regenerates `root`'s [`EFFECTS_BASELINE_PATH`] from a fresh pass and
+/// returns the rendered table. The render is deterministic, so committing
+/// the file pins every hot-path write set at review time.
+pub fn write_effects_baseline(root: &Path) -> io::Result<String> {
+    let inputs = collect_inputs(root)?;
+    let table = rules::effects_table(&inputs);
+    std::fs::write(root.join(EFFECTS_BASELINE_PATH), &table)?;
+    Ok(table)
+}
+
+const CLI_USAGE: &str = "usage: ft-lint [--root DIR] [--format human|json|sarif] [--stale] \
+     [--rule NAME] [--explain NAME] [--write-effects-baseline]";
+
+/// Prints the catalog entry for `rule` — the same name/summary/guards
+/// block `docs/LINT.md` documents. Returns the exit code.
+fn explain_rule(rule: &str) -> i32 {
+    let Some(info) = RULES.iter().find(|r| r.name == rule) else {
+        eprintln!("unknown rule `{rule}`; known rules:");
+        for name in RULE_NAMES {
+            eprintln!("  {name}");
+        }
+        return 2;
+    };
+    println!("{}", info.name);
+    println!("  summary: {}", info.summary);
+    println!("  guards:  {}", info.guards);
+    println!("  details: docs/LINT.md, section `{}`", info.name);
+    0
+}
+
 /// CLI driver shared by the `ft-lint` binary and `ftree lint`: parses
-/// `--root DIR` / `--format human|json|sarif` / `--stale`, prints the
-/// report, and returns the process exit code (0 clean, 1 violations — or,
-/// under `--stale`, stale suppressions — 2 usage error).
+/// `--root DIR` / `--format human|json|sarif` / `--stale` / `--rule NAME`
+/// (restrict the report to one rule, for CI bisects) / `--explain NAME`
+/// (print a rule's catalog entry and exit) / `--write-effects-baseline`
+/// (regenerate the committed effect table and exit), prints the report,
+/// and returns the process exit code (0 clean, 1 violations — or, under
+/// `--stale`, stale suppressions — 2 usage error).
 pub fn run_cli(args: &[String]) -> i32 {
     let mut root = String::from(".");
     let mut format = String::from("human");
     let mut stale = false;
+    let mut rule: Option<String> = None;
+    let mut write_baseline = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -283,20 +337,67 @@ pub fn run_cli(args: &[String]) -> i32 {
                 stale = true;
                 i += 1;
             }
+            "--rule" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--rule needs a rule name (see --explain)");
+                    return 2;
+                };
+                if !RULE_NAMES.contains(&v.as_str()) {
+                    eprintln!("unknown rule `{v}`; known rules:");
+                    for name in RULE_NAMES {
+                        eprintln!("  {name}");
+                    }
+                    return 2;
+                }
+                rule = Some(v.clone());
+                i += 2;
+            }
+            "--explain" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--explain needs a rule name");
+                    return 2;
+                };
+                return explain_rule(v);
+            }
+            "--write-effects-baseline" => {
+                write_baseline = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown ft-lint argument `{other}`");
-                eprintln!("usage: ft-lint [--root DIR] [--format human|json|sarif] [--stale]");
+                eprintln!("{CLI_USAGE}");
                 return 2;
             }
         }
     }
-    let report = match lint_workspace(Path::new(&root)) {
+    if write_baseline {
+        return match write_effects_baseline(Path::new(&root)) {
+            Ok(table) => {
+                println!(
+                    "wrote {} ({} entries)",
+                    Path::new(&root).join(EFFECTS_BASELINE_PATH).display(),
+                    table.lines().count().saturating_sub(2),
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("ft-lint: cannot write effects baseline under {root}: {e}");
+                2
+            }
+        };
+    }
+    let mut report = match lint_workspace(Path::new(&root)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ft-lint: cannot scan {root}: {e}");
             return 2;
         }
     };
+    if let Some(rule) = &rule {
+        report.violations.retain(|v| v.rule == rule.as_str());
+        report.suppressed.retain(|s| s.rule == rule.as_str());
+        report.unused_allows.retain(|(_, r, _)| r == rule.as_str());
+    }
     match format.as_str() {
         "json" => print!("{}", report.to_json()),
         "sarif" => print!("{}", report.to_sarif()),

@@ -1,0 +1,471 @@
+//! Static shard-isolation (race) analysis for the parallel engine.
+//!
+//! The engine's threading contract (PR 4): a threaded round is
+//! byte-identical to the sequential one because every worker writes only
+//! its own per-shard scratch, merged in shard order after the
+//! `WorkerPool::run` barrier. CI enforces that contract *dynamically*
+//! (record diffs at `--threads 2`); this pass enforces it *statically*:
+//!
+//! 1. **Worker regions** — the closures that run on worker threads:
+//!    closure arguments of a `spawn`/`run` call, plus every `move` closure
+//!    inside a function that dispatches to the pool (`jobs.push(Box::new(
+//!    move || …))` in `deliver_par` builds the job before handing it to
+//!    `run`, so the closure is not an argument of the dispatch call
+//!    itself).
+//! 2. **Reachable writes** — every field write lexically inside a region,
+//!    plus every field write in any function reachable from the region's
+//!    call sites through the (conservative) call graph.
+//! 3. **The discipline** — a reachable write is legal only when it lands
+//!    in per-worker state: a field marked `// ft-lint: shard-local` (the
+//!    `Shard` scratch and the `Ctx` staging buffers aliasing it), a write
+//!    through a non-`self` `&mut` parameter (exclusive by construction —
+//!    the dispatcher carved disjoint slices and the borrow checker holds
+//!    that line), or a write to a `let`-bound local. Anything else —
+//!    `self.field`, a captured receiver — is shared ambient state and is
+//!    flagged with a witness call chain from the dispatcher down to the
+//!    write.
+//!
+//! The marker is **name-scoped**, like every allowlist in this linter: a
+//! marked field name is trusted wherever it appears as a field. The
+//! workspace keeps engine-state names distinct (`outbox` on `Ctx` and
+//! `Shard` *is* the same per-worker buffer), and the effects baseline
+//! makes any new collision reviewable.
+
+use crate::callgraph::{engine_crate, std_container_call, CallGraph};
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::FnDef;
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The marker text that declares a struct field per-worker.
+pub const SHARD_LOCAL_MARKER: &str = "shard-local";
+
+/// Collects every field name declared under a `// ft-lint: shard-local`
+/// marker, across the whole file set. A marker covers field declarations
+/// on its own line (trailing comment) and on the line directly below it
+/// (standalone comment above the field), mirroring the `allow` grammar.
+pub fn shard_local_fields<'a>(
+    files: impl IntoIterator<Item = (&'a str, &'a Lexed)>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (_path, lx) in files {
+        let mut covered: BTreeSet<u32> = BTreeSet::new();
+        for c in &lx.comments {
+            if let Some(pos) = c.text.find("ft-lint:") {
+                if c.text[pos + "ft-lint:".len()..]
+                    .trim_start()
+                    .starts_with(SHARD_LOCAL_MARKER)
+                {
+                    // a trailing marker covers its own line; a standalone
+                    // marker covers the field declaration below it
+                    if lx.tokens.iter().any(|t| t.line == c.start_line) {
+                        covered.insert(c.start_line);
+                    } else {
+                        covered.insert(c.start_line + 1);
+                    }
+                }
+            }
+        }
+        if covered.is_empty() {
+            continue;
+        }
+        let toks = &lx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            // a field declaration is `name :` with neither side of the
+            // colon extending into a `::` path
+            if t.kind == TokKind::Ident
+                && covered.contains(&t.line)
+                && toks.get(i + 1).is_some_and(|n| n.text == ":")
+                && toks.get(i + 2).is_none_or(|n| n.text != ":")
+                && (i == 0 || toks[i - 1].text != ":")
+            {
+                out.insert(t.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Token ranges (inclusive) of the worker closures inside `def`'s body.
+fn worker_regions(toks: &[Token], def: &FnDef) -> Vec<(usize, usize)> {
+    let dispatches = def
+        .calls
+        .iter()
+        .any(|c| c.name == "run" || c.name == "spawn");
+    let mut regions: BTreeSet<(usize, usize)> = BTreeSet::new();
+    // (a) closures in the argument list of a spawn/run call
+    for c in &def.calls {
+        if c.name != "run" && c.name != "spawn" {
+            continue;
+        }
+        let Some(open) = (c.tok + 1..(c.tok + 8).min(toks.len())).find(|&j| toks[j].text == "(")
+        else {
+            continue;
+        };
+        let close = match_paren(toks, open);
+        let mut j = open + 1;
+        while j < close {
+            if let Some(r) = closure_at(toks, j, close) {
+                regions.insert(r);
+                j = r.1 + 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    // (b) in a dispatching function, every `move` closure is a job body
+    // even when it is boxed/stored before the dispatch call
+    if dispatches {
+        let hi = def.body.1.min(toks.len());
+        let mut j = def.body.0;
+        while j < hi {
+            if toks[j].kind == TokKind::Ident && toks[j].text == "move" {
+                if let Some(r) = closure_at(toks, j, hi) {
+                    regions.insert(r);
+                    j = r.1 + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+    regions.into_iter().collect()
+}
+
+/// Parses a closure starting at `i` (a `move` keyword or an opening `|` in
+/// argument position); returns the inclusive token range of its body.
+fn closure_at(toks: &[Token], i: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut p = i;
+    if toks[p].kind == TokKind::Ident && toks[p].text == "move" {
+        p += 1;
+    } else if toks[p].text != "|" || !closure_position(toks, p) {
+        return None;
+    }
+    if toks.get(p).map(|t| t.text.as_str()) != Some("|") {
+        return None;
+    }
+    // params end at the next `|` (patterns never contain one)
+    let params_end = (p + 1..limit).find(|&j| toks[j].text == "|")?;
+    let body_start = params_end + 1;
+    let first = toks.get(body_start)?;
+    if first.text == "{" {
+        return Some((body_start, match_brace(toks, body_start)));
+    }
+    // expression closure: runs to the `,` or `)` that closes it
+    let mut depth = 0i32;
+    let mut j = body_start;
+    while j < limit {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return Some((body_start, j.saturating_sub(1)));
+                }
+                depth -= 1;
+            }
+            "," if depth == 0 => return Some((body_start, j.saturating_sub(1))),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((body_start, limit.saturating_sub(1)))
+}
+
+/// Whether a bare `|` at `i` opens a closure (vs. a bit-or / pattern-or):
+/// it directly follows an argument-list delimiter or a binding `=`.
+fn closure_position(toks: &[Token], i: usize) -> bool {
+    i > 0 && matches!(toks[i - 1].text.as_str(), "(" | "," | "=" | "{")
+}
+
+fn match_paren(toks: &[Token], open: usize) -> usize {
+    match_pair(toks, open, "(", ")")
+}
+
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    match_pair(toks, open, "{", "}")
+}
+
+fn match_pair(toks: &[Token], open: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Identifiers bound by `let` statements and `for` patterns in `def`'s
+/// body: writes through them are per-invocation state, not shared.
+fn let_bound(toks: &[Token], def: &FnDef) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let hi = def.body.1.min(toks.len());
+    let mut i = def.body.0;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && (t.text == "let" || t.text == "for") {
+            let stop: &[&str] = if t.text == "let" {
+                // the `:` stop keeps type names out (losing `Foo { a: b }`
+                // renames — conservative: `b` then counts as shared)
+                &["=", ";", ":"]
+            } else {
+                &["in"]
+            };
+            let mut j = i + 1;
+            while j < hi && !stop.contains(&toks[j].text.as_str()) {
+                let tj = &toks[j];
+                if tj.kind == TokKind::Ident && tj.text != "mut" && tj.text != "ref" {
+                    out.insert(tj.text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether a write access in `def` lands in shared ambient state (true ⇒
+/// flag it). Per-worker by construction: shard-local fields, non-`self`
+/// `&mut` parameters (the dispatcher carved disjoint slices), locals.
+fn is_shared_write(
+    def: &FnDef,
+    field: &str,
+    recv: &str,
+    shard_local: &BTreeSet<String>,
+    locals: &BTreeSet<String>,
+) -> bool {
+    if shard_local.contains(field) || locals.contains(recv) {
+        return false;
+    }
+    !(recv != "self" && def.mut_params.iter().any(|p| p == recv))
+}
+
+/// Runs the shard-isolation pass: for every in-scope function that
+/// dispatches worker closures, flag each shared-state write lexically
+/// inside a closure or reachable from its call sites, with a witness
+/// chain. `files` maps workspace-relative path → lex artifacts.
+pub fn detect_shared_writes(
+    graph: &CallGraph,
+    files: &BTreeMap<&str, &Lexed>,
+    shard_local: &BTreeSet<String>,
+    scope: impl Fn(&str) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    // Resolution edges for the walk, minus dotted std-container calls
+    // (`seen.insert(v)` must not alias `HotSet::insert`).
+    let adj = graph.analysis_edges(files);
+    let locals_of = |def: &FnDef| {
+        files
+            .get(def.file.as_str())
+            .map(|lx| let_bound(&lx.tokens, def))
+            .unwrap_or_default()
+    };
+    let mut report = |def: &FnDef, line: u32, field: &str, chain: String| {
+        if !seen.insert((def.file.clone(), line, field.to_string())) {
+            return;
+        }
+        out.push(Finding {
+            rule: "shared-write-in-parallel-region",
+            file: def.file.clone(),
+            line,
+            message: format!(
+                "`{}` writes field `{field}` on a worker-closure path ({chain}): \
+                 shard bodies run concurrently and must touch only per-worker \
+                 state — mark the field `// ft-lint: shard-local` if it is \
+                 per-worker scratch, or move the write to the post-barrier merge",
+                def.qname,
+            ),
+        });
+    };
+
+    for (idx, def) in graph.defs.iter().enumerate() {
+        if !scope(&def.file) {
+            continue;
+        }
+        let Some(lx) = files.get(def.file.as_str()) else {
+            continue;
+        };
+        let regions = worker_regions(&lx.tokens, def);
+        if regions.is_empty() {
+            continue;
+        }
+        let in_region = |tok: usize| regions.iter().any(|&(lo, hi)| tok >= lo && tok <= hi);
+
+        // writes lexically inside a worker closure
+        let locals = locals_of(def);
+        for a in &def.accesses {
+            if a.write
+                && in_region(a.tok)
+                && is_shared_write(def, &a.field, &a.recv, shard_local, &locals)
+            {
+                report(def, a.line, &a.field, def.qname.clone());
+            }
+        }
+
+        // writes transitively reachable from the closure's call sites; the
+        // walk expands only through engine crates — state in scope for this
+        // rule lives in sim/metrics, and by dependency direction a real
+        // call chain to it can pass only through sim, metrics, or core
+        // (chains detouring through the pure graph crate or the baselines
+        // trait re-enter the engine only via same-name aliasing)
+        let mut roots: Vec<usize> = Vec::new();
+        for c in &def.calls {
+            if in_region(c.tok) && !std_container_call(&lx.tokens, c) {
+                roots.extend(graph.resolve(idx, c));
+            }
+        }
+        roots.retain(|&r| r != idx);
+        let reach = graph.closure(&roots, &adj, |n| engine_crate(&graph.defs[n].file));
+        for &node in reach.keys() {
+            if node == idx {
+                continue;
+            }
+            let callee = &graph.defs[node];
+            if !scope(&callee.file) {
+                continue;
+            }
+            let callee_locals = locals_of(callee);
+            for a in &callee.accesses {
+                if a.write
+                    && is_shared_write(callee, &a.field, &a.recv, shard_local, &callee_locals)
+                {
+                    let chain = format!("{} ⇒ {}", def.qname, graph.witness(&reach, node));
+                    report(callee, a.line, &a.field, chain);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn run(srcs: &[(&str, &str)], marked: &[&str]) -> Vec<Finding> {
+        let lexed: Vec<(String, Lexed)> =
+            srcs.iter().map(|(f, s)| (f.to_string(), lex(s))).collect();
+        let parsed: Vec<_> = lexed.iter().map(|(f, lx)| parse(f, lx)).collect();
+        let graph = CallGraph::build(parsed.iter(), |_| true);
+        let files: BTreeMap<&str, &Lexed> = lexed.iter().map(|(f, lx)| (f.as_str(), lx)).collect();
+        let shard_local: BTreeSet<String> = marked.iter().map(|s| s.to_string()).collect();
+        detect_shared_writes(&graph, &files, &shard_local, |_| true)
+    }
+
+    #[test]
+    fn shared_write_two_frames_below_a_shard_body_is_flagged() {
+        let src = "\
+impl Engine {
+    fn step_mt(&mut self, pool: &WorkerPool) {
+        pool.run(|shard| { drain(shard); });
+    }
+}
+fn drain(shard: &mut Shard) {
+    stage(shard);
+}
+fn stage(shard: &mut Shard) {
+    shard.outbox.push(1);
+    self.ledger += 1;
+}
+";
+        let hits = run(&[("crates/sim/src/e.rs", src)], &["outbox"]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 11);
+        assert!(
+            hits[0].message.contains("Engine::step_mt ⇒ drain → stage"),
+            "{}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn param_and_local_writes_are_per_worker_by_construction() {
+        let src = "\
+fn dispatch(pool: &WorkerPool) {
+    pool.run(move || { chunk_pass(s); });
+}
+fn chunk_pass(s: &mut Shard) {
+    s.count += 1;
+    let mut acc = Acc::default();
+    acc.total += 1;
+}
+";
+        let hits = run(&[("crates/sim/src/e.rs", src)], &[]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn boxed_move_jobs_in_a_dispatcher_are_regions() {
+        // the deliver_par shape: the closure is built (boxed) before the
+        // dispatch call, so it is not an argument of `run` itself
+        let src = "\
+impl Net {
+    fn deliver_par(&mut self) {
+        let mut jobs = Vec::new();
+        jobs.push(Box::new(move || {
+            self.counter += 1;
+        }));
+        self.pool.run(jobs);
+        self.merged += 1;
+    }
+}
+";
+        let hits = run(&[("crates/sim/src/e.rs", src)], &[]);
+        assert_eq!(
+            hits.len(),
+            1,
+            "post-barrier merge write stays legal: {hits:?}"
+        );
+        assert_eq!(hits[0].line, 5);
+        assert!(hits[0].message.contains("`counter`"));
+    }
+
+    #[test]
+    fn markers_collect_fields_and_cover_the_next_line() {
+        let src = "\
+struct Shard {
+    // ft-lint: shard-local
+    outbox: Vec<u32>,
+    freed: usize, // ft-lint: shard-local
+    shared: u64,
+}
+";
+        let lx = lex(src);
+        let fields = shard_local_fields([("crates/sim/src/s.rs", &lx)]);
+        assert!(fields.contains("outbox"));
+        assert!(fields.contains("freed"));
+        assert!(!fields.contains("shared"));
+        assert!(!fields.contains("Vec"), "{fields:?}");
+    }
+
+    #[test]
+    fn expression_closures_passed_to_spawn_are_regions() {
+        let src = "\
+fn sweep(scope: &Scope) {
+    scope.spawn(move || tally(x));
+    self.after = 1;
+}
+fn tally(x: u32) {
+    self.grand_total += 1;
+}
+";
+        let hits = run(&[("crates/metrics/src/stretch.rs", src)], &[]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("`grand_total`"));
+        assert!(
+            hits[0].message.contains("sweep ⇒ tally"),
+            "{}",
+            hits[0].message
+        );
+    }
+}

@@ -51,8 +51,74 @@ pub struct CallSite {
     pub recv: Option<String>,
     /// 1-based line of the call.
     pub line: u32,
+    /// Index of the call-name token in the file's token stream (the
+    /// parallel-region analysis tests whether it falls inside a worker
+    /// closure's token range).
+    pub tok: usize,
     /// Statement context (see [`Discard`]).
     pub discard: Discard,
+}
+
+/// Method names that mutate their receiver — the shape-only stand-in for
+/// `&mut self` resolution. A method call through a field (`self.buf.push`)
+/// marks the field written when the method is here or ends in `_mut`;
+/// anything else reads. Errs toward *write* for the std mutators the
+/// workspace actually uses: a spurious write costs a written-reason
+/// suppression, a missed one is a missed race.
+pub const MUTATING_METHODS: [&str; 30] = [
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "insert",
+    "remove",
+    "swap_remove",
+    "clear",
+    "extend",
+    "append",
+    "drain",
+    "drain_into",
+    "truncate",
+    "resize",
+    "resize_with",
+    "retain",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "dedup",
+    "fill",
+    "swap",
+    "take",
+    "replace",
+    "merge",
+    "reserve",
+    "shrink_to_fit",
+];
+
+/// Whether a method call through a field counts as mutating the field.
+pub fn is_mutating_method(name: &str) -> bool {
+    MUTATING_METHODS.contains(&name) || name.ends_with("_mut")
+}
+
+/// One field access (`recv.field`) inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldAccess {
+    /// The receiver identifier directly before the `.` (`self`, a local,
+    /// a param, or the previous field of a chain); `_` when the receiver
+    /// is a call/index result.
+    pub recv: String,
+    /// The accessed field name.
+    pub field: String,
+    /// 1-based line of the field token.
+    pub line: u32,
+    /// Index of the field token in the file's token stream.
+    pub tok: usize,
+    /// Whether the access mutates: assignment (`=`, `+=`, …), an `&mut`
+    /// borrow of the chain, or a mutating-method receiver position.
+    pub write: bool,
 }
 
 /// One `fn` definition.
@@ -79,6 +145,12 @@ pub struct FnDef {
     pub body: (usize, usize),
     /// Every call expression in the body, in source order.
     pub calls: Vec<CallSite>,
+    /// Every field access in the body, in source order (closure bodies
+    /// included — they attribute to the enclosing function).
+    pub accesses: Vec<FieldAccess>,
+    /// Parameters taken by `&mut` reference, `self` included — the
+    /// signature half of the effect surface.
+    pub mut_params: Vec<String>,
 }
 
 /// Parser output for one file.
@@ -295,6 +367,8 @@ pub fn parse(file: &str, lx: &Lexed) -> Parsed {
                         sig_start: name_idx,
                         body: (idx, idx), // end patched at the close brace
                         calls: Vec::new(),
+                        accesses: Vec::new(),
+                        mut_params: Vec::new(),
                     });
                     fn_stack.push((defs.len() - 1, brace_depth));
                 } else if let Some(impl_idx) = pending_impl.take() {
@@ -328,10 +402,152 @@ pub fn parse(file: &str, lx: &Lexed) -> Parsed {
     }
 
     extract_calls(toks, &enclosing, &mut defs);
+    extract_accesses(toks, &enclosing, &mut defs);
+    for def in &mut defs {
+        def.mut_params = extract_mut_params(toks, def.sig_start, def.body.0);
+    }
     Parsed {
         defs,
         in_test,
         enclosing,
+    }
+}
+
+/// Parameters taken by `&mut` reference in the signature span
+/// `sig..open` (`&mut self`, `name: &mut T`, `name: &'a mut T`).
+fn extract_mut_params(toks: &[Token], sig: usize, open: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = sig;
+    while i < open.min(toks.len()) {
+        if toks[i].text == "&" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.kind == TokKind::Lifetime) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| is_ident(t, "mut")) {
+                let after = toks.get(j + 1);
+                if after.is_some_and(|t| is_ident(t, "self")) {
+                    push_unique(&mut out, "self");
+                } else if i >= 2 && toks[i - 1].text == ":" && toks[i - 2].kind == TokKind::Ident {
+                    // `name: &mut T` — but not `Type::<&mut T>` paths
+                    if i < 3 || toks[i - 3].text != ":" {
+                        push_unique(&mut out, &toks[i - 2].text);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// Walks every token, recognizes `recv.field` accesses (field token not
+/// followed by an argument list — that would be a method call), classifies
+/// each as read or write, and attaches it to the innermost enclosing
+/// function. Chains record one access per field: `self.a.b = x` yields a
+/// write of `a` (through-write) and a write of `b`.
+fn extract_accesses(toks: &[Token], enclosing: &[Option<usize>], defs: &mut [FnDef]) {
+    let n = toks.len();
+    for idx in 0..n {
+        let t = &toks[idx];
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            continue;
+        }
+        let Some(def_idx) = enclosing[idx] else {
+            continue;
+        };
+        // a field token is preceded by `.` (and not the `..` of a range)
+        if idx < 2 || toks[idx - 1].text != "." || toks[idx - 2].text == "." {
+            continue;
+        }
+        // a method call is a CallSite, not a field access — but it may
+        // still classify the *previous* chain link (handled there)
+        if toks.get(idx + 1).map(|t| t.text.as_str()) == Some("(") {
+            continue;
+        }
+        let recv = if toks[idx - 2].kind == TokKind::Ident {
+            toks[idx - 2].text.clone()
+        } else {
+            "_".to_string()
+        };
+        defs[def_idx].accesses.push(FieldAccess {
+            recv,
+            field: t.text.clone(),
+            line: t.line,
+            tok: idx,
+            write: classify_access(toks, idx),
+        });
+    }
+}
+
+/// Whether the field access at `idx` mutates. Checks, in order: an `&mut`
+/// borrow of the whole chain, a trailing assignment (`=`, `+=`, `<<=`, …
+/// after the rest of the chain and any index brackets), or a mutating
+/// method called on the chain's end.
+fn classify_access(toks: &[Token], idx: usize) -> bool {
+    // ---- backward: find the chain head, then look for `&mut` ----------
+    let mut head = idx;
+    while head >= 2 && toks[head - 1].text == "." && toks[head - 2].kind == TokKind::Ident {
+        head -= 2;
+    }
+    if head >= 2 && toks[head - 2].text == "&" && is_ident(&toks[head - 1], "mut") {
+        return true;
+    }
+    // ---- forward: walk the rest of the chain, then classify -----------
+    let mut j = idx + 1;
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            // index brackets: `self.per_sent[v] = 0` still writes per_sent
+            Some("[") => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            Some(".") if toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident) => {
+                if toks.get(j + 2).map(|t| t.text.as_str()) == Some("(") {
+                    // method on the chain end: mutating ⇒ the field is written
+                    return is_mutating_method(&toks[j + 1].text);
+                }
+                j += 2; // next chain link; its own record classifies it too
+            }
+            _ => break,
+        }
+    }
+    let (a, b, c) = (
+        toks.get(j).map(|t| t.text.as_str()),
+        toks.get(j + 1).map(|t| t.text.as_str()),
+        toks.get(j + 2).map(|t| t.text.as_str()),
+    );
+    match (a, b, c) {
+        // plain assignment — but not `==` or a match arm's `=>`
+        (Some("="), next, _) => next != Some("=") && next != Some(">"),
+        // compound assignment: `+=`, `-=`, `|=`, `&=`, `^=`, `*=`, `/=`, `%=`
+        (Some("+" | "-" | "*" | "/" | "%" | "|" | "&" | "^"), Some("="), _) => true,
+        // shift assignment: `<<=`, `>>=`
+        (Some("<"), Some("<"), Some("=")) | (Some(">"), Some(">"), Some("=")) => true,
+        _ => false,
     }
 }
 
@@ -439,6 +655,7 @@ fn extract_calls(toks: &[Token], enclosing: &[Option<usize>], defs: &mut [FnDef]
             qual,
             recv,
             line: t.line,
+            tok: idx,
             discard: discard_at[idx],
         });
     }
@@ -554,6 +771,78 @@ mod tests {
         let p = parse_src("#[cfg(test)]\nmod tests {\n    fn helper() { x(); }\n}\nfn prod() {}\n");
         assert!(p.defs[0].in_test);
         assert!(!p.defs[1].in_test);
+    }
+
+    /// `(field, write)` pairs in source order, for compact assertions.
+    fn accesses(def: &FnDef) -> Vec<(&str, bool)> {
+        def.accesses
+            .iter()
+            .map(|a| (a.field.as_str(), a.write))
+            .collect()
+    }
+
+    #[test]
+    fn field_reads_and_writes_are_classified() {
+        let p = parse_src(
+            "impl L {\n    fn f(&mut self) {\n        self.sent += 1;\n        self.delivered = self.sent;\n        let x = self.lost;\n        self.per_sent[v] = 0;\n        self.outbox.push(1);\n        self.name.len();\n    }\n}\n",
+        );
+        assert_eq!(
+            accesses(&p.defs[0]),
+            vec![
+                ("sent", true),
+                ("delivered", true),
+                ("sent", false),
+                ("lost", false),
+                ("per_sent", true),
+                ("outbox", true),
+                ("name", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn chains_borrows_and_comparisons_classify_correctly() {
+        let p = parse_src(
+            "fn f(s: &mut S) {\n    s.inner.count = 1;\n    take(&mut s.buf);\n    if s.count == 0 { return; }\n    match s.mode { M::A => {} _ => {} }\n    s.items.sort();\n    s.view.iter();\n}\n",
+        );
+        assert_eq!(
+            accesses(&p.defs[0]),
+            vec![
+                ("inner", true), // through-write on the chain
+                ("count", true),
+                ("buf", true),    // &mut borrow
+                ("count", false), // `==` is not an assignment
+                ("mode", false),  // `=>` match arm is not an assignment
+                ("items", true),  // mutating method
+                ("view", false),  // non-mutating method
+            ]
+        );
+        assert_eq!(p.defs[0].mut_params, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn mut_params_cover_self_and_named_refs() {
+        let p = parse_src(
+            "impl N {\n    fn g(&mut self, out: &mut Vec<u32>, data: &[u8], n: usize) {}\n}\nfn h(x: &'static mut u32) {}\n",
+        );
+        assert_eq!(p.defs[0].mut_params, vec!["self", "out"]);
+        assert_eq!(p.defs[1].mut_params, vec!["x"]);
+    }
+
+    #[test]
+    fn closure_bodies_attribute_to_the_enclosing_fn() {
+        // regression: calls AND field accesses inside a closure passed as an
+        // argument (`pool.run(|shard| { … })`) must land on the enclosing fn
+        let p = parse_src(
+            "impl E {\n    fn drive(&mut self, pool: &WorkerPool) {\n        pool.run(|shard| {\n            shard.outbox.clear();\n            deliver_chunk(shard);\n            self.total += 1;\n        });\n    }\n}\n",
+        );
+        assert_eq!(p.defs.len(), 1, "closures are not defs");
+        let d = &p.defs[0];
+        assert!(d.calls.iter().any(|c| c.name == "deliver_chunk"));
+        assert!(d.calls.iter().any(|c| c.name == "run"));
+        let acc = accesses(d);
+        assert!(acc.contains(&("outbox", true)), "{acc:?}");
+        assert!(acc.contains(&("total", true)), "{acc:?}");
     }
 
     #[test]

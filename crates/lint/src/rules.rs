@@ -10,7 +10,7 @@
 //!   test fixture mini-workspace.
 //! - **Semantic rules** run over the whole file set at once: the
 //!   [`parser`](crate::parser) recovers function definitions and call
-//!   sites, the [`callgraph`](crate::callgraph) links them, and the
+//!   sites, the [`callgraph`] links them, and the
 //!   determinism-taint / cost-coverage / panic-reachability passes walk the
 //!   result. A finding is still a `(rule, file, line, message)` tuple, so
 //!   suppression markers work identically for both layers.
@@ -23,14 +23,16 @@
 //! be well-formed, and an entropy-seeded RNG in a test invalidates the very
 //! reproduction the test claims to pin.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{self, CallGraph};
+use crate::effects;
 use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::parallel;
 use crate::parser::{parse, Discard, FnDef, Parsed};
 use crate::taint;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The machine name of every rule, in report order.
-pub const RULE_NAMES: [&str; 11] = [
+pub const RULE_NAMES: [&str; 14] = [
     "nondeterministic-iteration",
     "wall-clock-in-protocol",
     "unseeded-rng",
@@ -42,6 +44,9 @@ pub const RULE_NAMES: [&str; 11] = [
     "uncharged-mutation",
     "dropped-cost-result",
     "panic-reachability",
+    "shared-write-in-parallel-region",
+    "ledger-book-coupling",
+    "effects-baseline-drift",
 ];
 
 /// Static description of one rule (for `--format json` and the docs).
@@ -56,7 +61,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalog (see `docs/LINT.md` for the full contract).
-pub const RULES: [RuleInfo; 11] = [
+pub const RULES: [RuleInfo; 14] = [
     RuleInfo {
         name: "nondeterministic-iteration",
         summary: "HashMap/HashSet in protocol crates (ft-core, ft-sim, ft-graph): \
@@ -138,6 +143,34 @@ pub const RULES: [RuleInfo; 11] = [
                   calls deep",
         guards: "crash-consistency of the round engine's books, enforced by \
                  call-graph closure instead of an 8-line token window",
+    },
+    RuleInfo {
+        name: "shared-write-in-parallel-region",
+        summary: "a field write lexically inside — or transitively reachable from — a \
+                  worker closure (WorkerPool/spawn dispatch) that lands in shared \
+                  state: not `// ft-lint: shard-local`, not a non-self &mut param, \
+                  not a local",
+        guards: "the shard-isolation discipline: threaded rounds stay byte-identical \
+                 to sequential only while workers touch per-shard scratch merged \
+                 after the barrier",
+    },
+    RuleInfo {
+        name: "ledger-book-coupling",
+        summary: "a function whose direct MsgLedger book-write set is neither a \
+                  single book nor the full set: record exactly one fate per helper, \
+                  or reset all books together",
+        guards: "the conservation identity `sent + duplicated = delivered + dropped \
+                 + lost + in_flight`: an unpaired book write fails lint before it \
+                 fails check_accounting",
+    },
+    RuleInfo {
+        name: "effects-baseline-drift",
+        summary: "a hot-path function (step*/run_until*/deliver_*/finish_round/\
+                  measure_stretch*) whose transitive field-write set grew past its \
+                  entry in crates/lint/effects_baseline.json",
+        guards: "reviewability of engine-state mutations: write-set growth is a \
+                 diffable event, regenerated deliberately via `ftree lint \
+                 --write-effects-baseline`",
     },
 ];
 
@@ -291,6 +324,18 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         "determinism-taint" => in_any(&p, &["crates/core/src", "crates/sim/src"]),
         // Costs may be produced anywhere; dropping one is wrong anywhere.
         "dropped-cost-result" => true,
+        // The parallel surfaces: the sharded round engine and the threaded
+        // stretch sweep. Conservative name resolution reaches every crate,
+        // but findings are *reported* only where the shard discipline
+        // binds (a `fn push` on a metrics table is not engine state).
+        "shared-write-in-parallel-region" => {
+            p == "crates/metrics/src/stretch.rs" || in_any(&p, &["crates/sim/src"])
+        }
+        // The ledger and everything in ft-sim that could touch its books.
+        "ledger-book-coupling" => in_any(&p, &["crates/sim/src"]),
+        // The hot paths whose write sets the committed baseline pins: the
+        // round engine and the measurement sweeps built on it.
+        "effects-baseline-drift" => in_any(&p, &["crates/sim/src", "crates/metrics/src"]),
         "unsafe-without-safety-comment" | "malformed-suppression" => true,
         _ => false,
     }
@@ -629,8 +674,16 @@ fn mutation_sites(def: &FnDef) -> Vec<(u32, String)> {
     out
 }
 
-/// Runs the four call-graph rules over the whole file set.
-fn detect_semantic(units: &[Unit]) -> Vec<Finding> {
+/// The functions whose transitive write sets the effects baseline pins:
+/// the round-engine roots plus the stretch measurement entry points.
+fn is_baseline_hot_fn(def: &FnDef) -> bool {
+    is_engine_hot_fn(&def.name) || def.name.starts_with("measure_stretch")
+}
+
+/// Runs the seven call-graph rules over the whole file set. `baseline` is
+/// the committed effect table (`crates/lint/effects_baseline.json`), when
+/// present, for the drift rule.
+fn detect_semantic(units: &[Unit], baseline: Option<&str>) -> Vec<Finding> {
     let graph = CallGraph::build(units.iter().map(|u| &u.parsed), |f| !is_test_path(f));
     // node attributes, re-keyed after the graph's deterministic sort
     let mut by_key: BTreeMap<(&str, u32, &str), DefAttrs> = BTreeMap::new();
@@ -770,7 +823,62 @@ fn detect_semantic(units: &[Unit]) -> Vec<Finding> {
         }
     }
 
+    // --- shared-write-in-parallel-region: field writes inside / reachable
+    // from worker closures must land in per-worker state
+    let files: BTreeMap<&str, &Lexed> = units.iter().map(|u| (u.path.as_str(), &u.lx)).collect();
+    let shard_local = parallel::shard_local_fields(files.iter().map(|(&p, &lx)| (p, lx)));
+    out.extend(parallel::detect_shared_writes(
+        &graph,
+        &files,
+        &shard_local,
+        |f| rule_applies("shared-write-in-parallel-region", f),
+    ));
+
+    // --- ledger-book-coupling: direct book-write sets must be balanced
+    out.extend(effects::detect_book_coupling(&graph, |f| {
+        rule_applies("ledger-book-coupling", f)
+    }));
+
+    // --- effects-baseline-drift: hot-path write sets vs the committed table
+    if let Some(text) = baseline {
+        let sigs = effects::infer(&graph, &engine_adjacency(&graph, &files));
+        let table = effects::parse_table(text);
+        out.extend(effects::detect_drift(
+            &graph,
+            &sigs,
+            &table,
+            is_baseline_hot_fn,
+            |f| rule_applies("effects-baseline-drift", f),
+        ));
+    }
+
     out
+}
+
+/// Renders the hot-path effect table for this file set — the content of
+/// `crates/lint/effects_baseline.json` (deterministic: sorted keys, no
+/// timestamps; byte-identical across runs on the same tree). Only
+/// baseline-hot functions are rendered, so the committed file stays small
+/// enough that its diff in review *is* the engine-state mutation review.
+pub fn effects_table(inputs: &[(String, String)]) -> String {
+    let units = to_units(inputs);
+    let graph = CallGraph::build(units.iter().map(|u| &u.parsed), |f| !is_test_path(f));
+    let files: BTreeMap<&str, &Lexed> = units.iter().map(|u| (u.path.as_str(), &u.lx)).collect();
+    let sigs = effects::infer(&graph, &engine_adjacency(&graph, &files));
+    effects::render_table(&graph, &sigs, is_baseline_hot_fn)
+}
+
+/// Analysis edges confined to engine crates: the baseline tracks engine
+/// state, and only sim/metrics/core code can sit on a real chain to it —
+/// an edge into another crate re-enters the engine only by name aliasing
+/// (`cfg.build()` must not charge `CallGraph::build`'s effects to
+/// `step_mt`).
+fn engine_adjacency(graph: &CallGraph, files: &BTreeMap<&str, &Lexed>) -> Vec<BTreeSet<usize>> {
+    let mut adj = graph.analysis_edges(files);
+    for set in &mut adj {
+        set.retain(|&n| callgraph::engine_crate(&graph.defs[n].file));
+    }
+    adj
 }
 
 // ---------------------------------------------------------------------
@@ -804,8 +912,13 @@ fn parse_allows(comments: &[Comment], path: &str) -> (Vec<Allow>, Vec<Finding>) 
                 message: format!("malformed ft-lint marker: {why}"),
             });
         };
+        // `// ft-lint: shard-local` is the parallel pass's field marker,
+        // not a suppression — collected by `parallel::shard_local_fields`.
+        if rest.starts_with(crate::parallel::SHARD_LOCAL_MARKER) {
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow") else {
-            fail("expected `allow(<rule>, \"<reason>\")`");
+            fail("expected `allow(<rule>, \"<reason>\")` or `shard-local`");
             continue;
         };
         let args = args.trim_start();
@@ -849,11 +962,8 @@ fn parse_allows(comments: &[Comment], path: &str) -> (Vec<Allow>, Vec<Finding>) 
 // Entry points
 // ---------------------------------------------------------------------
 
-/// Lints a whole file set: the lexical detectors per file, then the
-/// call-graph rules across all of them, then suppression. `inputs` are
-/// `(workspace-relative path, source)` pairs; exempt paths are skipped.
-pub fn lint_files(inputs: &[(String, String)]) -> WorkspaceLint {
-    let units: Vec<Unit> = inputs
+fn to_units(inputs: &[(String, String)]) -> Vec<Unit> {
+    inputs
         .iter()
         .filter(|(p, _)| !is_exempt_path(p))
         .map(|(p, s)| {
@@ -862,7 +972,20 @@ pub fn lint_files(inputs: &[(String, String)]) -> WorkspaceLint {
             let parsed = parse(&path, &lx);
             Unit { path, lx, parsed }
         })
-        .collect();
+        .collect()
+}
+
+/// Lints a whole file set: the lexical detectors per file, then the
+/// call-graph rules across all of them, then suppression. `inputs` are
+/// `(workspace-relative path, source)` pairs; exempt paths are skipped.
+pub fn lint_files(inputs: &[(String, String)]) -> WorkspaceLint {
+    lint_files_with(inputs, None)
+}
+
+/// [`lint_files`] with the committed effects baseline, enabling the
+/// `effects-baseline-drift` rule (absent baseline ⇒ the rule is silent).
+pub fn lint_files_with(inputs: &[(String, String)], baseline: Option<&str>) -> WorkspaceLint {
+    let units = to_units(inputs);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut malformed: Vec<Finding> = Vec::new();
@@ -873,7 +996,7 @@ pub fn lint_files(inputs: &[(String, String)]) -> WorkspaceLint {
         malformed.extend(bad);
         allows_by_file.insert(u.path.clone(), allows);
     }
-    findings.extend(detect_semantic(&units));
+    findings.extend(detect_semantic(&units, baseline));
 
     let mut wl = WorkspaceLint::default();
     for f in findings {

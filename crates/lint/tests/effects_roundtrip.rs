@@ -1,0 +1,106 @@
+//! Property tests for effect inference: for generated two-function
+//! sources with known field accesses, the inferred signatures are exactly
+//! the seeded sets (unioned across the call edge when one exists), and
+//! the rendered table survives a parse → re-render round trip
+//! byte-identically — the invariant the committed baseline file rests on.
+
+use ft_lint::callgraph::CallGraph;
+use ft_lint::effects::{infer, parse_table, render_table, table_key, EffectSig};
+use ft_lint::lexer::lex;
+use ft_lint::parser::parse;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const FIELDS: [&str; 6] = ["alpha", "bravo", "chrome", "delta", "echo_f", "fox"];
+
+/// Renders a two-method impl where `caller` writes/reads the given field
+/// subsets and `helper` writes its own; `call` adds the `caller → helper`
+/// edge.
+fn source(
+    caller_writes: &BTreeSet<usize>,
+    caller_reads: &BTreeSet<usize>,
+    helper_writes: &BTreeSet<usize>,
+    call: bool,
+) -> String {
+    let mut s = String::from("impl Probe {\n    fn caller(&mut self) {\n");
+    for &i in caller_writes {
+        s.push_str(&format!("        self.{} += 1;\n", FIELDS[i]));
+    }
+    for &i in caller_reads {
+        s.push_str(&format!("        let v = self.{};\n", FIELDS[i]));
+    }
+    if call {
+        s.push_str("        self.helper();\n");
+    }
+    s.push_str("    }\n    fn helper(&mut self) {\n");
+    for &i in helper_writes {
+        s.push_str(&format!("        self.{} = 0;\n", FIELDS[i]));
+    }
+    s.push_str("    }\n}\n");
+    s
+}
+
+fn names(idx: &BTreeSet<usize>) -> BTreeSet<String> {
+    idx.iter().map(|&i| FIELDS[i].to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn inferred_signatures_are_exactly_the_seeded_sets(
+        caller_writes in proptest::collection::vec(0usize..6, 0..4),
+        caller_reads in proptest::collection::vec(0usize..6, 0..4),
+        helper_writes in proptest::collection::vec(0usize..6, 0..4),
+        call in proptest::bool::ANY,
+    ) {
+        let caller_writes: BTreeSet<usize> = caller_writes.into_iter().collect();
+        let caller_reads: BTreeSet<usize> = caller_reads.into_iter().collect();
+        let helper_writes: BTreeSet<usize> = helper_writes.into_iter().collect();
+        let src = source(&caller_writes, &caller_reads, &helper_writes, call);
+        let parsed = parse("crates/sim/src/gen.rs", &lex(&src));
+        let graph = CallGraph::build([&parsed], |_| true);
+        let sigs = infer(&graph, &graph.edges);
+
+        let caller = graph.select(|d| d.name == "caller")[0];
+        let helper = graph.select(|d| d.name == "helper")[0];
+
+        // helper's signature is its own writes, nothing leaks downward
+        prop_assert_eq!(&sigs[helper].writes, &names(&helper_writes));
+        prop_assert!(sigs[helper].reads.is_empty());
+
+        // caller's signature is its own sets, plus helper's writes iff the
+        // call edge exists — exact, not merely a superset
+        let mut want_writes = names(&caller_writes);
+        if call {
+            want_writes.extend(names(&helper_writes));
+        }
+        prop_assert_eq!(&sigs[caller].writes, &want_writes);
+        prop_assert_eq!(&sigs[caller].reads, &names(&caller_reads));
+    }
+
+    #[test]
+    fn rendered_tables_survive_a_parse_rerender_round_trip(
+        caller_writes in proptest::collection::vec(0usize..6, 0..4),
+        caller_reads in proptest::collection::vec(0usize..6, 0..4),
+        helper_writes in proptest::collection::vec(0usize..6, 0..4),
+        call in proptest::bool::ANY,
+    ) {
+        let caller_writes: BTreeSet<usize> = caller_writes.into_iter().collect();
+        let caller_reads: BTreeSet<usize> = caller_reads.into_iter().collect();
+        let helper_writes: BTreeSet<usize> = helper_writes.into_iter().collect();
+        let src = source(&caller_writes, &caller_reads, &helper_writes, call);
+        let parsed = parse("crates/sim/src/gen.rs", &lex(&src));
+        let graph = CallGraph::build([&parsed], |_| true);
+        let sigs = infer(&graph, &graph.edges);
+
+        let text = render_table(&graph, &sigs, |_| true);
+        let reparsed = parse_table(&text);
+        let again: Vec<EffectSig> = graph
+            .defs
+            .iter()
+            .map(|d| reparsed.get(&table_key(d)).cloned().unwrap_or_default())
+            .collect();
+        prop_assert_eq!(render_table(&graph, &again, |_| true), text);
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: one event recorded under two ledger fates.
+
+pub struct MsgLedger {
+    sent: u64,
+    dropped: u64,
+}
+
+impl MsgLedger {
+    pub fn record_confused(&mut self) {
+        self.sent += 1;
+        self.dropped += 1;
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: a hot-path write set that outgrew its baseline.
+
+pub struct Acc {
+    pairs: u64,
+    surprises: u64,
+}
+
+impl Acc {
+    pub fn measure_stretch_drift(&mut self) {
+        self.pairs += 1;
+        self.surprises += 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded violation: a shared-state write two frames below a shard body.
+
+pub struct Fan {
+    pool: Pool,
+    tally: u64,
+}
+
+impl Fan {
+    pub fn fan_out(&mut self) {
+        self.pool.run(|shard| {
+            self.bump_shared(shard);
+        });
+    }
+
+    fn bump_shared(&mut self, _shard: usize) {
+        self.bump_tally();
+    }
+
+    fn bump_tally(&mut self) {
+        self.tally += 1;
+    }
+}

@@ -1,11 +1,13 @@
 //! Golden tests for the lint pass: the seeded fixture mini-workspace under
-//! `tests/fixtures/` trips every rule exactly once (the four semantic
+//! `tests/fixtures/` trips every rule exactly once (the seven semantic
 //! rules through real call-graph shapes: taint across two hops, an
 //! uncharged mutation, a dropped CostResult, a panic two frames below
-//! `step*`), the CLI maps that to a non-zero exit, `--stale` turns rotten
-//! suppressions red, and the *real* workspace lints clean (every remaining
-//! finding is covered by a reasoned `allow` marker) with byte-identical
-//! JSON and SARIF across consecutive runs.
+//! `step*`, a shared write two frames below a shard body, an unbalanced
+//! ledger-book pair, and a hot-path write set that outgrew its committed
+//! effect baseline), the CLI maps that to a non-zero exit, `--stale`
+//! turns rotten suppressions red, and the *real* workspace lints clean
+//! (every remaining finding is covered by a reasoned `allow` marker) with
+//! byte-identical JSON and SARIF across consecutive runs.
 
 use ft_lint::{lint_workspace, run_cli};
 use std::path::{Path, PathBuf};
@@ -52,6 +54,16 @@ fn fixtures_trip_every_rule_exactly_once() {
         ("uncharged-mutation", "crates/sim/src/uncharged.rs", 4),
         ("dropped-cost-result", "crates/sim/src/dropcost.rs", 8),
         ("panic-reachability", "crates/sim/src/deep_panic.rs", 12),
+        // shard.rs: the write sits two calls below the worker closure
+        (
+            "shared-write-in-parallel-region",
+            "crates/sim/src/shard.rs",
+            20,
+        ),
+        ("ledger-book-coupling", "crates/sim/src/books.rs", 10),
+        // drift.rs: the fixture baseline pins `pairs` only; `surprises`
+        // is the unreviewed growth
+        ("effects-baseline-drift", "crates/sim/src/drift.rs", 9),
     ];
     want.sort_unstable();
     assert_eq!(got, want, "one violation per rule, nothing extra");
@@ -82,6 +94,20 @@ fn semantic_findings_carry_witness_chains() {
             .contains("step_fixture → middle → bottom"),
         "reachability names its call path: {}",
         by_rule("panic-reachability").message
+    );
+    assert!(
+        by_rule("shared-write-in-parallel-region")
+            .message
+            .contains("Fan::fan_out ⇒ Fan::bump_shared → Fan::bump_tally"),
+        "the race finding names dispatcher and witness chain: {}",
+        by_rule("shared-write-in-parallel-region").message
+    );
+    assert!(
+        by_rule("effects-baseline-drift")
+            .message
+            .contains("{surprises}"),
+        "drift names the grown write set: {}",
+        by_rule("effects-baseline-drift").message
     );
 }
 
@@ -149,7 +175,7 @@ fn real_workspace_reports_are_byte_identical_across_runs() {
 fn json_report_is_stable_and_tagged() {
     let report = lint_workspace(&fixtures_root()).expect("fixture tree is readable");
     let json = report.to_json();
-    assert!(json.contains("\"violation_count\": 12"));
+    assert!(json.contains("\"violation_count\": 15"));
     for rule in ft_lint::RULE_NAMES {
         assert!(json.contains(rule), "rule {rule} missing from JSON report");
     }

@@ -35,12 +35,14 @@ pub struct BfsNode {
     id: NodeId,
     is_root: bool,
     neighbors: Vec<NodeId>,
+    // Per-node protocol state: a process belongs to exactly one shard's
+    // contiguous `procs` slice, so its callbacks run on a single worker.
     /// Adopted depth, once reached by the wave.
-    pub depth: Option<u32>,
+    pub depth: Option<u32>, // ft-lint: shard-local
     /// Parent in the BFS tree (root: none).
-    pub parent: Option<NodeId>,
+    pub parent: Option<NodeId>, // ft-lint: shard-local
     /// Confirmed children.
-    pub children: Vec<NodeId>,
+    pub children: Vec<NodeId>, // ft-lint: shard-local
 }
 
 impl Process for BfsNode {

@@ -86,9 +86,11 @@ pub struct Ctx<'a, M> {
     me: NodeId,
     round: u64,
     faulty: bool,
-    outbox: &'a mut Vec<(NodeId, NodeId, M)>,
-    edge_adds: &'a mut Vec<(NodeId, NodeId)>,
-    edge_drops: &'a mut Vec<(NodeId, NodeId)>,
+    // Each worker's Ctx borrows its own shard's buffers, merged in shard
+    // order after the barrier — per-worker scratch by construction.
+    outbox: &'a mut Vec<(NodeId, NodeId, M)>, // ft-lint: shard-local
+    edge_adds: &'a mut Vec<(NodeId, NodeId)>, // ft-lint: shard-local
+    edge_drops: &'a mut Vec<(NodeId, NodeId)>, // ft-lint: shard-local
 }
 
 impl<M> Ctx<'_, M> {

@@ -46,7 +46,7 @@ fn usage() -> ! {
          ftree stress  --model graph [--nodes N] [--events E] [--wave K] [--insert-frac F] [--extra-edges F] [--planner P] [--faults M] [--seed S] [--sources B] [--stretch full|incremental|both] [--threads T] [--out FILE]\n  \
          ftree costs   [--out FILE]\n  \
          ftree faults  [--nodes N] [--events E] [--wave K] [--seed S] [--threads T] [--out FILE]\n  \
-         ftree lint    [--root DIR] [--format human|json|sarif] [--stale]\n\n\
+         ftree lint    [--root DIR] [--format human|json|sarif] [--stale] [--rule NAME] [--explain NAME] [--write-effects-baseline]\n\n\
          workloads : path:N star:N kary<K>:N caterpillar:SxL broom:H+B random:N#S pref:N#S\n\
          adversaries: random max-degree min-degree root-attack heir-hunter hub-siphon diameter-greedy\n\
          healers   : forgiving-tree forgiving-graph surrogate line binary-tree no-heal\n\
